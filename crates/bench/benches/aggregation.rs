@@ -1,0 +1,48 @@
+//! Benches the aggregation kernels: sparse CSR aggregation vs the dense
+//! normalise-then-matmul path, across dataset-scale graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_graph::datasets::{Dataset, DatasetKind};
+use fare_tensor::{init, ops};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    for kind in [DatasetKind::Ppi, DatasetKind::Amazon2M] {
+        let ds = Dataset::generate(kind, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = init::normal(ds.graph.num_nodes(), 24, 1.0, &mut rng);
+        let dense_adj = ds.graph.to_dense();
+
+        group.bench_with_input(
+            BenchmarkId::new("sparse_gcn", ds.spec.name),
+            &(),
+            |b, ()| b.iter(|| black_box(ds.graph.gcn_aggregate(black_box(&x)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_gcn", ds.spec.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let norm = ops::gcn_normalise(black_box(&dense_adj));
+                    black_box(norm.matmul(&x))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_mean", ds.spec.name),
+            &(),
+            |b, ()| b.iter(|| black_box(ds.graph.mean_aggregate(black_box(&x)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aggregation
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Benches the GNN substrate: forward+backward per architecture, on
+//! ideal vs faulty readers, plus one full training epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_core::{FaultStrategy, FaultyWeightReader, TrainConfig, Trainer};
+use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
+use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare_reram::FaultSpec;
+use fare_tensor::{init, ops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn batch_graph(n: usize, seed: u64) -> (Matrix, Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.1) {
+                adj[(i, j)] = 1.0;
+                adj[(j, i)] = 1.0;
+            }
+        }
+    }
+    let x = init::normal(n, 24, 1.0, &mut rng);
+    let labels = (0..n).map(|i| i % 6).collect();
+    (adj, x, labels)
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let (adj, x, labels) = batch_graph(64, 1);
+    let dims = GnnDims {
+        input: 24,
+        hidden: 16,
+        output: 6,
+    };
+    let mut group = c.benchmark_group("forward_backward");
+    for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = Gnn::new(kind, dims, &mut rng);
+        let mut opt = Adam::new(0.01, &model);
+        group.bench_with_input(BenchmarkId::new("ideal", kind.to_string()), &(), |b, ()| {
+            b.iter(|| {
+                let (logits, cache) = model.forward(&adj, &x, &IdealReader);
+                let (_, grad) = ops::cross_entropy_with_grad(&logits, &labels);
+                let grads = model.backward(&cache, &grad);
+                model.apply_gradients(&grads, &mut opt);
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulty_reader(c: &mut Criterion) {
+    let (adj, x, _) = batch_graph(64, 3);
+    let dims = GnnDims {
+        input: 24,
+        hidden: 16,
+        output: 6,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = Gnn::new(ModelKind::Gcn, dims, &mut rng);
+    let mut reader = FaultyWeightReader::for_model(&model, 16);
+    reader.inject(&FaultSpec::density(0.05), &mut rng);
+    reader.set_clip(Some(1.0));
+
+    let mut group = c.benchmark_group("reader");
+    group.bench_function("ideal_forward", |b| {
+        b.iter(|| black_box(model.forward(&adj, &x, &IdealReader)))
+    });
+    group.bench_function("faulty_forward", |b| {
+        b.iter(|| black_box(model.forward(&adj, &x, &reader)))
+    });
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Ppi, 5);
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    for strategy in FaultStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::new("ppi_gcn", strategy.to_string()),
+            &strategy,
+            |b, &strategy| {
+                let config = TrainConfig {
+                    epochs: 1,
+                    fault_spec: FaultSpec::density(0.03),
+                    strategy,
+                    ..TrainConfig::default()
+                };
+                b.iter(|| black_box(Trainer::new(config, 5).run(black_box(&dataset))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward_backward, bench_faulty_reader, bench_training_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation bench: exact Hungarian vs b-Suitor ½-approximation vs greedy
+//! for the row-permutation assignment at crossbar sizes 16–128.
+//!
+//! Supports the DESIGN.md design-choice discussion: the paper picks
+//! b-Suitor for speed; this quantifies the quality/runtime trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_matching::{CostMatrix, Matcher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_cost(n: usize, seed: u64) -> CostMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CostMatrix::from_fn(n, n, |_, _| rng.gen_range(0.0..16.0f64).round())
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for &n in &[16usize, 32, 64, 128] {
+        let cost = random_cost(n, 7);
+        for matcher in [
+            Matcher::Hungarian,
+            Matcher::BSuitor,
+            Matcher::Auction,
+            Matcher::Greedy,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(matcher.to_string(), n),
+                &cost,
+                |b, cost| b.iter(|| black_box(matcher.solve(black_box(cost)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matchers
+}
+criterion_main!(benches);

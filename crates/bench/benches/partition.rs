@@ -1,0 +1,41 @@
+//! Benches the METIS-substitute partitioner: multilevel vs plain BFS
+//! region growing, across dataset presets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_graph::datasets::{Dataset, DatasetKind};
+use fare_graph::partition::{bfs_partition, partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for kind in DatasetKind::all() {
+        let ds = Dataset::generate(kind, 5);
+        let k = ds.spec.partitions;
+        group.bench_with_input(
+            BenchmarkId::new("multilevel", ds.spec.name),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(partition(black_box(&ds.graph), k, &mut rng))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bfs", ds.spec.name), &ds, |b, ds| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(bfs_partition(black_box(&ds.graph), k, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partitioners
+}
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Shared plumbing for the figure/table binaries.
+//!
+//! Each binary regenerates one table or figure of the paper and prints
+//! the same rows/series the paper reports. Common command-line flags:
+//!
+//! - `--epochs N` — training epochs per run (default 30),
+//! - `--trials N` — independent trials averaged per bar (default 3),
+//! - `--seed N` — base RNG seed (default 42),
+//! - `--quick` — 8 epochs × 1 trial, for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fare_core::experiments::ExperimentParams;
+
+/// Parses the common experiment flags from `std::env::args`.
+///
+/// Unknown flags are ignored so binaries can add their own.
+///
+/// # Panics
+///
+/// Panics (with a usage message) when a flag's value is missing or not a
+/// number.
+pub fn params_from_args() -> ExperimentParams {
+    let args: Vec<String> = std::env::args().collect();
+    params_from(&args)
+}
+
+/// Parses experiment flags from an explicit argument list (testable).
+///
+/// # Panics
+///
+/// Panics when a flag's value is missing or not a number.
+pub fn params_from(args: &[String]) -> ExperimentParams {
+    let mut params = ExperimentParams::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> u64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("flag {} needs a numeric value", args[i]))
+        };
+        match args[i].as_str() {
+            "--epochs" => {
+                params.epochs = take(i) as usize;
+                i += 1;
+            }
+            "--trials" => {
+                params.trials = take(i) as usize;
+                i += 1;
+            }
+            "--seed" => {
+                params.seed = take(i);
+                i += 1;
+            }
+            "--quick" => {
+                params.epochs = 8;
+                params.trials = 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    params
+}
+
+/// Writes a serialisable experiment result as pretty-printed JSON when
+/// the user passed `--json <path>`; no-op otherwise.
+///
+/// Lets downstream tooling (plotting scripts, CI dashboards) consume the
+/// figures without scraping the text tables.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or the value fails to serialise.
+pub fn maybe_write_json<T: serde::Serialize>(value: &T) {
+    if let Some(path) = string_flag("--json") {
+        let json = serde_json::to_string_pretty(value).expect("result serialises to JSON");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote JSON results to {path}");
+    }
+}
+
+/// Returns the value following `flag` in the process arguments, if any.
+pub fn string_flag(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Renders an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use fare_bench::render_table;
+/// let t = render_table(
+///     &["name", "value"],
+///     &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.contains("bb"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$} | ", cell, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    out.push_str(&fmt_row(&sep));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an accuracy as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let p = params_from(&argv("prog"));
+        assert_eq!(p.epochs, 30);
+        assert_eq!(p.trials, 3);
+        assert_eq!(p.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let p = params_from(&argv("prog --epochs 50 --trials 5 --seed 7"));
+        assert_eq!(p.epochs, 50);
+        assert_eq!(p.trials, 5);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let p = params_from(&argv("prog --quick"));
+        assert_eq!(p.epochs, 8);
+        assert_eq!(p.trials, 1);
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let p = params_from(&argv("prog --ratio 1:1 --epochs 9"));
+        assert_eq!(p.epochs, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a numeric value")]
+    fn missing_value_panics() {
+        params_from(&argv("prog --epochs"));
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&["a", "bcd"], &[vec!["xx".into(), "y".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

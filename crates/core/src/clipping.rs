@@ -1,0 +1,105 @@
+//! Weight-clipping support (paper Section IV-B).
+//!
+//! Clipping is a *read-side* hardware mechanism: the 16-bit comparator +
+//! 2:1 mux on each tile clamps every weight the MVM consumes into
+//! `[-θ, θ]`, so a stuck-at-1 cell near the MSB can inflate a weight by
+//! at most `θ` instead of by the full fixed-point range. The threshold is
+//! a hyper-parameter fixed for the whole run. This module provides the
+//! default and a data-driven selector; the clamp itself lives in
+//! [`crate::FaultyWeightReader::set_clip`] (hardware read path) and
+//! [`fare_gnn::Gnn::clip_weights`] (master-copy regularisation after each
+//! update).
+
+use fare_gnn::Gnn;
+
+/// Default clip threshold used by the experiments.
+///
+/// Healthy GNN weights under Xavier initialisation stay well inside
+/// `[-1, 1]`, so θ = 1 never clips a legitimate weight yet caps
+/// explosions at ~1 % of the fixed-point range.
+pub const DEFAULT_THRESHOLD: f32 = 1.0;
+
+/// Picks a clip threshold from the model's current weight distribution:
+/// `margin ×` the largest weight magnitude.
+///
+/// Useful when resuming training of a pre-trained model whose weights
+/// exceed the default threshold.
+///
+/// # Panics
+///
+/// Panics if `margin` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use fare_core::clipping::threshold_for;
+/// use fare_gnn::{Gnn, GnnDims};
+/// use fare_graph::datasets::ModelKind;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Gnn::new(ModelKind::Gcn, GnnDims { input: 8, hidden: 8, output: 4 }, &mut rng);
+/// let theta = threshold_for(&model, 2.0);
+/// assert!(theta >= model.max_weight_magnitude());
+/// ```
+pub fn threshold_for(model: &Gnn, margin: f32) -> f32 {
+    assert!(margin > 0.0, "margin must be positive");
+    let max = model.max_weight_magnitude();
+    if max == 0.0 {
+        DEFAULT_THRESHOLD
+    } else {
+        margin * max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fare_gnn::GnnDims;
+    use fare_graph::datasets::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn model() -> Gnn {
+        let mut rng = StdRng::seed_from_u64(0);
+        Gnn::new(
+            ModelKind::Gcn,
+            GnnDims {
+                input: 8,
+                hidden: 8,
+                output: 4,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn default_threshold_covers_fresh_weights() {
+        // Xavier-initialised weights must never be clipped by the default.
+        let m = model();
+        assert!(m.max_weight_magnitude() < DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn threshold_scales_with_margin() {
+        let m = model();
+        let t1 = threshold_for(&m, 1.0);
+        let t2 = threshold_for(&m, 2.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_default() {
+        let mut m = model();
+        for ps in m.param_shapes() {
+            m.param_mut(ps.layer, ps.param).map_inplace(|_| 0.0);
+        }
+        assert_eq!(threshold_for(&m, 2.0), DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn rejects_nonpositive_margin() {
+        threshold_for(&model(), 0.0);
+    }
+}

@@ -1,0 +1,532 @@
+//! Parameterised runners for every figure of the evaluation section.
+//!
+//! Each runner reproduces the corresponding experiment's *protocol* —
+//! same workloads, fault ratios, densities, and comparison baselines as
+//! the paper — on the scaled synthetic datasets. The `fare-bench` crate
+//! wraps them in one binary per figure; integration tests assert the
+//! qualitative shapes (who wins, by roughly what factor).
+
+use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare_reram::timing::{NormalizedTimes, PipelineSpec, TimingModel};
+use fare_reram::FaultSpec;
+use fare_tensor::fixed::StuckPolarity;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::{run_fault_free, FaultStrategy, TrainConfig, TrainOutcome, Trainer};
+
+/// One (dataset, model) pairing from Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    /// Dataset preset.
+    pub dataset: DatasetKind,
+    /// Model architecture.
+    pub model: ModelKind,
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}", self.dataset, self.model)
+    }
+}
+
+/// All six Table II workloads.
+pub fn table2_workloads() -> Vec<Workload> {
+    DatasetKind::all()
+        .iter()
+        .flat_map(|&dataset| {
+            dataset
+                .spec()
+                .models
+                .iter()
+                .map(move |&model| Workload { dataset, model })
+        })
+        .collect()
+}
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Training epochs per run (paper: 100; scale down for CI).
+    pub epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent trials averaged per bar (fault pattern + init vary by
+    /// trial). The paper plots single runs on large graphs; the scaled
+    /// graphs here need a few trials to tame fault-placement variance.
+    pub trials: usize,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            seed: 42,
+            trials: 3,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// Seed of trial `t`.
+    fn trial_seed(&self, t: usize) -> u64 {
+        self.seed.wrapping_add(1000 * t as u64)
+    }
+}
+
+fn base_config(model: ModelKind, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        model,
+        epochs,
+        ..TrainConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 — SA0 vs SA1 severity, weights vs adjacency (SAGE + Amazon2M).
+// ---------------------------------------------------------------------
+
+/// Which computation phase faults were injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPhase {
+    /// Crossbars storing GNN weights (combination).
+    Weights,
+    /// Crossbars storing the adjacency matrix (aggregation).
+    Adjacency,
+}
+
+impl std::fmt::Display for FaultPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPhase::Weights => write!(f, "weights"),
+            FaultPhase::Adjacency => write!(f, "adjacency"),
+        }
+    }
+}
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Case {
+    /// Phase the 5 % faults were injected into.
+    pub phase: FaultPhase,
+    /// Fault polarity (SA0-only or SA1-only).
+    pub polarity: StuckPolarity,
+    /// Final test accuracy of fault-unaware training.
+    pub accuracy: f64,
+}
+
+/// Fig. 3 result: four fault bars plus the fault-free reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Fault-free test accuracy.
+    pub fault_free: f64,
+    /// The four (phase × polarity) bars.
+    pub cases: Vec<Fig3Case>,
+}
+
+impl Fig3Result {
+    /// Accuracy of a specific bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case is missing.
+    pub fn accuracy_of(&self, phase: FaultPhase, polarity: StuckPolarity) -> f64 {
+        self.cases
+            .iter()
+            .find(|c| c.phase == phase && c.polarity == polarity)
+            .map(|c| c.accuracy)
+            .expect("missing fig3 case")
+    }
+}
+
+/// Runs the Fig. 3 experiment: 5 % SA0-only / SA1-only pre-deployment
+/// faults on the weight and adjacency crossbars *separately*, with
+/// fault-unaware training (SAGE + Amazon2M).
+pub fn fig3(params: &ExperimentParams) -> Fig3Result {
+    let dataset = Dataset::generate(DatasetKind::Amazon2M, params.seed);
+    let model = ModelKind::Sage;
+    let density = 0.05;
+
+    let trials: Vec<u64> = (0..params.trials.max(1)).map(|t| params.trial_seed(t)).collect();
+    let fault_free = trials
+        .iter()
+        .map(|&s| {
+            run_fault_free(&base_config(model, params.epochs), s, &dataset).final_test_accuracy
+        })
+        .sum::<f64>()
+        / trials.len() as f64;
+
+    let cases: Vec<Fig3Case> = [
+        (FaultPhase::Weights, StuckPolarity::StuckAtZero),
+        (FaultPhase::Weights, StuckPolarity::StuckAtOne),
+        (FaultPhase::Adjacency, StuckPolarity::StuckAtZero),
+        (FaultPhase::Adjacency, StuckPolarity::StuckAtOne),
+    ]
+    .into_par_iter()
+    .map(|(phase, polarity)| {
+        let spec = match polarity {
+            StuckPolarity::StuckAtZero => FaultSpec::density(density).sa0_only(),
+            StuckPolarity::StuckAtOne => FaultSpec::density(density).sa1_only(),
+        };
+        let config = TrainConfig {
+            fault_spec: spec,
+            strategy: FaultStrategy::FaultUnaware,
+            weight_faults: phase == FaultPhase::Weights,
+            adjacency_faults: phase == FaultPhase::Adjacency,
+            ..base_config(model, params.epochs)
+        };
+        let accuracy = trials
+            .par_iter()
+            .map(|&s| Trainer::new(config, s).run(&dataset).final_test_accuracy)
+            .sum::<f64>()
+            / trials.len() as f64;
+        Fig3Case {
+            phase,
+            polarity,
+            accuracy,
+        }
+    })
+    .collect();
+
+    Fig3Result { fault_free, cases }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — training curves, fault-unaware vs FARe (GCN + Reddit).
+// ---------------------------------------------------------------------
+
+/// Fig. 4 result: per-epoch training-accuracy curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Fault densities swept (paper: 1–5 %).
+    pub densities: Vec<f64>,
+    /// Fault-free training-accuracy curve.
+    pub fault_free: Vec<f64>,
+    /// Fault-unaware curves, one per density (panel a).
+    pub unaware: Vec<Vec<f64>>,
+    /// FARe curves, one per density (panel b).
+    pub fare: Vec<Vec<f64>>,
+}
+
+/// Runs Fig. 4: training accuracy vs epoch for fault-unaware vs FARe at
+/// each density (GCN + Reddit, SA0:SA1 = 9:1).
+pub fn fig4(params: &ExperimentParams, densities: &[f64]) -> Fig4Result {
+    let dataset = Dataset::generate(DatasetKind::Reddit, params.seed);
+    let model = ModelKind::Gcn;
+    let curve = |out: &TrainOutcome| -> Vec<f64> {
+        out.history.iter().map(|e| e.train_accuracy).collect()
+    };
+
+    let trials: Vec<u64> = (0..params.trials.max(1)).map(|t| params.trial_seed(t)).collect();
+    let mean_curves = |curves: Vec<Vec<f64>>| -> Vec<f64> {
+        let len = curves.iter().map(Vec::len).min().unwrap_or(0);
+        (0..len)
+            .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
+            .collect()
+    };
+    let fault_free = mean_curves(
+        trials
+            .iter()
+            .map(|&s| curve(&run_fault_free(&base_config(model, params.epochs), s, &dataset)))
+            .collect(),
+    );
+
+    let run = |strategy: FaultStrategy, density: f64| -> Vec<f64> {
+        let config = TrainConfig {
+            fault_spec: FaultSpec::density(density),
+            strategy,
+            ..base_config(model, params.epochs)
+        };
+        mean_curves(
+            trials
+                .par_iter()
+                .map(|&s| curve(&Trainer::new(config, s).run(&dataset)))
+                .collect(),
+        )
+    };
+    let unaware: Vec<Vec<f64>> = densities
+        .par_iter()
+        .map(|&d| run(FaultStrategy::FaultUnaware, d))
+        .collect();
+    let fare: Vec<Vec<f64>> = densities
+        .par_iter()
+        .map(|&d| run(FaultStrategy::FaRe, d))
+        .collect();
+    Fig4Result {
+        densities: densities.to_vec(),
+        fault_free,
+        unaware,
+        fare,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 / Fig. 6 — test-accuracy comparison across workloads.
+// ---------------------------------------------------------------------
+
+/// One bar of Fig. 5 / Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyCell {
+    /// Workload (dataset + model).
+    pub workload: Workload,
+    /// Mitigation strategy.
+    pub strategy: FaultStrategy,
+    /// Pre-deployment fault density.
+    pub density: f64,
+    /// Final test accuracy.
+    pub accuracy: f64,
+}
+
+/// Fig. 5 / Fig. 6 result: all bars plus per-workload fault-free
+/// references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyComparison {
+    /// SA1 fraction used (0.1 for 9:1, 0.5 for 1:1).
+    pub sa1_fraction: f64,
+    /// Total post-deployment density added over the run (Fig. 6; 0 for
+    /// Fig. 5).
+    pub post_deployment_density: f64,
+    /// Fault-free reference accuracy per workload.
+    pub fault_free: Vec<(Workload, f64)>,
+    /// All (workload × strategy × density) bars.
+    pub cells: Vec<AccuracyCell>,
+}
+
+impl AccuracyComparison {
+    /// Accuracy of a specific bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is missing.
+    pub fn accuracy_of(&self, workload: Workload, strategy: FaultStrategy, density: f64) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.workload == workload
+                    && c.strategy == strategy
+                    && (c.density - density).abs() < 1e-12
+            })
+            .map(|c| c.accuracy)
+            .expect("missing accuracy cell")
+    }
+
+    /// Fault-free reference of a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is missing.
+    pub fn fault_free_of(&self, workload: Workload) -> f64 {
+        self.fault_free
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, a)| *a)
+            .expect("missing fault-free reference")
+    }
+
+    /// Mean accuracy of one strategy over all bars.
+    pub fn mean_accuracy(&self, strategy: FaultStrategy) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.strategy == strategy)
+            .map(|c| c.accuracy)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Runs the Fig. 5 protocol: every workload × strategy × density at the
+/// given SA1 fraction, pre-deployment faults only.
+///
+/// Pass `workloads = table2_workloads()` for the full figure or a subset
+/// for quick runs.
+pub fn fig5(
+    params: &ExperimentParams,
+    workloads: &[Workload],
+    sa1_fraction: f64,
+    densities: &[f64],
+) -> AccuracyComparison {
+    comparison(params, workloads, sa1_fraction, densities, 0.0)
+}
+
+/// Runs the Fig. 6 protocol: pre-deployment densities plus
+/// `post_deployment_density` extra faults spread uniformly over the
+/// epochs (paper: 1 %).
+pub fn fig6(
+    params: &ExperimentParams,
+    workloads: &[Workload],
+    sa1_fraction: f64,
+    pre_densities: &[f64],
+    post_deployment_density: f64,
+) -> AccuracyComparison {
+    comparison(
+        params,
+        workloads,
+        sa1_fraction,
+        pre_densities,
+        post_deployment_density,
+    )
+}
+
+fn comparison(
+    params: &ExperimentParams,
+    workloads: &[Workload],
+    sa1_fraction: f64,
+    densities: &[f64],
+    post: f64,
+) -> AccuracyComparison {
+    let datasets: Vec<(Workload, Dataset)> = workloads
+        .iter()
+        .map(|&w| (w, Dataset::generate(w.dataset, params.seed)))
+        .collect();
+
+    let trials: Vec<u64> = (0..params.trials.max(1)).map(|t| params.trial_seed(t)).collect();
+    let fault_free: Vec<(Workload, f64)> = datasets
+        .par_iter()
+        .map(|(w, ds)| {
+            let acc = trials
+                .iter()
+                .map(|&s| {
+                    run_fault_free(&base_config(w.model, params.epochs), s, ds)
+                        .final_test_accuracy
+                })
+                .sum::<f64>()
+                / trials.len() as f64;
+            (*w, acc)
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (wi, (w, _)) in datasets.iter().enumerate() {
+        for &strategy in &FaultStrategy::all() {
+            for &density in densities {
+                jobs.push((wi, *w, strategy, density));
+            }
+        }
+    }
+    let cells: Vec<AccuracyCell> = jobs
+        .par_iter()
+        .map(|&(wi, workload, strategy, density)| {
+            let config = TrainConfig {
+                fault_spec: FaultSpec::with_sa1_fraction(density, sa1_fraction),
+                post_deployment_density: post,
+                strategy,
+                ..base_config(workload.model, params.epochs)
+            };
+            let accuracy = trials
+                .par_iter()
+                .map(|&s| {
+                    Trainer::new(config, s)
+                        .run(&datasets[wi].1)
+                        .final_test_accuracy
+                })
+                .sum::<f64>()
+                / trials.len() as f64;
+            AccuracyCell {
+                workload,
+                strategy,
+                density,
+                accuracy,
+            }
+        })
+        .collect();
+
+    AccuracyComparison {
+        sa1_fraction,
+        post_deployment_density: post,
+        fault_free,
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — normalised execution time per dataset.
+// ---------------------------------------------------------------------
+
+/// Fig. 7 result: normalised execution times per dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// `(dataset, times)` rows using the paper-scale pipeline geometry
+    /// (N = partitions / batch from Table II, S = 5, 100 epochs).
+    pub rows: Vec<(DatasetKind, NormalizedTimes)>,
+}
+
+/// Runs the Fig. 7 timing model with each dataset's paper-scale pipeline
+/// geometry.
+pub fn fig7() -> Fig7Result {
+    let rows = DatasetKind::all()
+        .iter()
+        .map(|&kind| {
+            let spec = kind.spec();
+            let num_batches = (spec.paper_partitions / spec.paper_batch).max(1);
+            let timing = TimingModel::new(PipelineSpec::new(num_batches, 5, 1e-3, 100));
+            (kind, timing.normalized())
+        })
+        .collect();
+    Fig7Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_six_workloads() {
+        let w = table2_workloads();
+        assert_eq!(w.len(), 6);
+        assert!(w.contains(&Workload {
+            dataset: DatasetKind::Ppi,
+            model: ModelKind::Gat
+        }));
+        assert!(w.contains(&Workload {
+            dataset: DatasetKind::Ogbl,
+            model: ModelKind::Sage
+        }));
+    }
+
+    #[test]
+    fn fig7_fare_low_overhead_nr_high() {
+        let result = fig7();
+        assert_eq!(result.rows.len(), 4);
+        for (kind, times) in &result.rows {
+            assert!(times.fare < 1.05, "{kind}: FARe {}", times.fare);
+            assert!(
+                times.neuron_reordering > 2.0,
+                "{kind}: NR {}",
+                times.neuron_reordering
+            );
+            assert!(times.clipping < times.fare);
+            // Paper: "up to 4× speedup" over NR.
+            assert!(times.fare_speedup_over_nr() > 2.5);
+        }
+    }
+
+    #[test]
+    fn fig7_speedup_grows_with_batch_count() {
+        let result = fig7();
+        // Amazon2M (N=500) has more batches than PPI (N=50): larger NR
+        // penalty.
+        let ppi = result.rows.iter().find(|(k, _)| *k == DatasetKind::Ppi).unwrap();
+        let amz = result
+            .rows
+            .iter()
+            .find(|(k, _)| *k == DatasetKind::Amazon2M)
+            .unwrap();
+        assert!(amz.1.neuron_reordering > ppi.1.neuron_reordering);
+    }
+
+    #[test]
+    fn accuracy_comparison_lookup_helpers() {
+        // Tiny run to exercise the bookkeeping, not the science.
+        let params = ExperimentParams { epochs: 1, seed: 1, trials: 1 };
+        let w = vec![Workload {
+            dataset: DatasetKind::Ppi,
+            model: ModelKind::Gcn,
+        }];
+        let cmp = fig5(&params, &w, 0.1, &[0.01]);
+        assert_eq!(cmp.cells.len(), 4); // 1 workload × 4 strategies × 1 density
+        let _ = cmp.accuracy_of(w[0], FaultStrategy::FaRe, 0.01);
+        let _ = cmp.fault_free_of(w[0]);
+        assert!(cmp.mean_accuracy(FaultStrategy::FaRe) >= 0.0);
+    }
+}

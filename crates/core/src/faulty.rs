@@ -1,0 +1,417 @@
+//! Faulty-hardware plumbing: the weight reader backed by crossbar
+//! fabrics, and adjacency corruption under a given mapping.
+
+use std::collections::BTreeMap;
+
+use fare_gnn::{Gnn, WeightReader};
+use fare_reram::variation::{VariationField, VariationSpec};
+use fare_reram::weights::WeightFabric;
+use fare_reram::{CrossbarArray, FaultSpec};
+use fare_tensor::{FixedFormat, Matrix};
+use rand::Rng;
+
+use fare_matching::{CostMatrix, Matcher};
+
+use crate::mapping::Mapping;
+
+/// A [`WeightReader`] that routes every parameter through its own
+/// [`WeightFabric`] — 16-bit quantisation plus stuck-cell corruption.
+///
+/// Optionally holds a per-parameter **row placement** (logical →
+/// physical), which is how the neuron-reordering baseline steers weight
+/// rows around damaging faults.
+///
+/// # Example
+///
+/// ```
+/// use fare_core::FaultyWeightReader;
+/// use fare_gnn::{Gnn, GnnDims, WeightReader};
+/// use fare_graph::datasets::ModelKind;
+/// use fare_reram::FaultSpec;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Gnn::new(ModelKind::Gcn, GnnDims { input: 8, hidden: 8, output: 4 }, &mut rng);
+/// let mut reader = FaultyWeightReader::for_model(&model, 16);
+/// reader.inject(&FaultSpec::density(0.05), &mut rng);
+/// let read = reader.read(0, 0, model.param(0, 0));
+/// assert_eq!(read.shape(), model.param(0, 0).shape());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyWeightReader {
+    fabrics: BTreeMap<(usize, usize), WeightFabric>,
+    placements: BTreeMap<(usize, usize), Vec<usize>>,
+    variations: BTreeMap<(usize, usize), VariationField>,
+    clip: Option<f32>,
+}
+
+impl FaultyWeightReader {
+    /// Allocates one fabric per model parameter on `n × n` crossbars with
+    /// the default 16-bit fixed-point format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a multiple of 8 (cells per weight).
+    pub fn for_model(model: &Gnn, n: usize) -> Self {
+        let fmt = FixedFormat::default();
+        let fabrics = model
+            .param_shapes()
+            .into_iter()
+            .map(|ps| {
+                (
+                    (ps.layer, ps.param),
+                    WeightFabric::for_shape(ps.rows, ps.cols, n, fmt),
+                )
+            })
+            .collect();
+        Self {
+            fabrics,
+            placements: BTreeMap::new(),
+            variations: BTreeMap::new(),
+            clip: None,
+        }
+    }
+
+    /// Draws a static programming-variation field for every parameter
+    /// (extension beyond the paper's SAF model; see
+    /// [`fare_reram::variation`]).
+    pub fn inject_variation(&mut self, spec: &VariationSpec, rng: &mut impl Rng) {
+        for (&key, fabric) in &self.fabrics {
+            let (rows, cols) = fabric.shape();
+            self.variations
+                .insert(key, VariationField::generate(rows, cols, spec, rng));
+        }
+    }
+
+    /// Compounds per-epoch retention drift onto every parameter's
+    /// variation field (no-op for parameters without one; call
+    /// [`FaultyWeightReader::inject_variation`] first, possibly with
+    /// σ = 0, to create the fields).
+    pub fn apply_drift(&mut self, sigma: f64, rng: &mut impl Rng) {
+        for field in self.variations.values_mut() {
+            field.drift(sigma, rng);
+        }
+    }
+
+    /// Enables the hardware clipping comparator: every read value is
+    /// clamped into `[-threshold, threshold]` *after* fault corruption.
+    ///
+    /// This is the paper's combination-phase defence (Section IV-B): the
+    /// 16-bit comparator + 2:1 mux on each tile bounds exploded weights
+    /// before they enter the MVM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative.
+    pub fn set_clip(&mut self, threshold: Option<f32>) {
+        if let Some(t) = threshold {
+            assert!(t >= 0.0, "clip threshold must be non-negative");
+        }
+        self.clip = threshold;
+    }
+
+    /// The currently configured clip threshold, if any.
+    pub fn clip(&self) -> Option<f32> {
+        self.clip
+    }
+
+    /// Injects faults into every fabric (additive, deterministic order).
+    pub fn inject(&mut self, spec: &FaultSpec, rng: &mut impl Rng) {
+        for fabric in self.fabrics.values_mut() {
+            fabric.inject(spec, rng);
+        }
+    }
+
+    /// Borrows the fabric of parameter `(layer, param)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is unknown.
+    pub fn fabric(&self, layer: usize, param: usize) -> &WeightFabric {
+        self.fabrics
+            .get(&(layer, param))
+            .unwrap_or_else(|| panic!("no fabric for parameter ({layer},{param})"))
+    }
+
+    /// Mutably borrows the fabric of parameter `(layer, param)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is unknown.
+    pub fn fabric_mut(&mut self, layer: usize, param: usize) -> &mut WeightFabric {
+        self.fabrics
+            .get_mut(&(layer, param))
+            .unwrap_or_else(|| panic!("no fabric for parameter ({layer},{param})"))
+    }
+
+    /// Total fault count across all fabrics.
+    pub fn fault_count(&self) -> usize {
+        self.fabrics.values().map(|f| f.array().fault_count()).sum()
+    }
+
+    /// Drops all row placements (back to identity).
+    pub fn clear_placements(&mut self) {
+        self.placements.clear();
+    }
+
+    /// Recomputes every parameter's row placement to minimise corruption
+    /// of the *current* weights — the neuron-reordering move, re-run
+    /// after every batch because the weights keep changing.
+    ///
+    /// The paper notes NR's weakness: its reorder unit spans all eight
+    /// cells of each weight (it can only permute whole rows), so overlap
+    /// with fault patterns is coarse. That is exactly what this
+    /// implements — row-level assignment, no polarity awareness.
+    pub fn optimize_placements(&mut self, model: &Gnn, matcher: Matcher) {
+        for (&(layer, param), fabric) in &self.fabrics {
+            let weights = model.param(layer, param);
+            let rows = weights.rows();
+            let physical = fabric.physical_rows();
+            let cost = CostMatrix::from_fn(rows, physical, |r, p| {
+                fabric.row_placement_cost(weights, r, p)
+            });
+            let sol = matcher.solve(&cost);
+            self.placements.insert((layer, param), sol.to_permutation());
+        }
+    }
+}
+
+impl WeightReader for FaultyWeightReader {
+    fn read(&self, layer: usize, param: usize, value: &Matrix) -> Matrix {
+        let fabric = self.fabric(layer, param);
+        let placement = self.placements.get(&(layer, param)).map(Vec::as_slice);
+        let mut out = fabric.corrupt_permuted(value, placement);
+        if let Some(field) = self.variations.get(&(layer, param)) {
+            out = field.apply(&out);
+        }
+        if let Some(t) = self.clip {
+            out.clip_inplace(t);
+        }
+        out
+    }
+}
+
+/// Corrupts a binary adjacency matrix as stored under `mapping`.
+///
+/// Each placed block is read back through its crossbar with its row
+/// permutation; the reassembled matrix is what the aggregation phase
+/// actually computes with.
+///
+/// # Panics
+///
+/// Panics if `mapping` does not match `adj`'s geometry or refers to
+/// missing crossbars.
+pub fn corrupt_adjacency_mapped(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    mapping: &Mapping,
+) -> Matrix {
+    let n = array.n();
+    assert_eq!(mapping.n(), n, "mapping/array crossbar size mismatch");
+    assert_eq!(
+        mapping.grid(),
+        adj.rows().div_ceil(n),
+        "mapping grid does not match adjacency"
+    );
+    let mut out = adj.clone();
+    for p in mapping.placements() {
+        let r0 = p.block_row * n;
+        let c0 = p.block_col * n;
+        let block = adj.block(r0, c0, n, n);
+        let read = array
+            .crossbar(p.crossbar)
+            .read_binary(&block, Some(&p.row_perm));
+        for r in 0..n {
+            for c in 0..n {
+                if r0 + r < adj.rows() && c0 + c < adj.cols() {
+                    out[(r0 + r, c0 + c)] = read[(r, c)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Corrupts a binary adjacency stored with the naive sequential layout
+/// (block `k` → crossbar `k`, identity rows): the fault-unaware baseline.
+///
+/// # Panics
+///
+/// Panics if there are fewer crossbars than blocks.
+pub fn corrupt_adjacency_unaware(adj: &Matrix, array: &CrossbarArray) -> Matrix {
+    let mapping = crate::mapping::sequential_mapping(adj, array);
+    corrupt_adjacency_mapped(adj, array, &mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use fare_gnn::GnnDims;
+    use fare_graph::datasets::ModelKind;
+    use fare_reram::StuckPolarity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::mapping::{map_adjacency, MappingConfig};
+
+    fn model() -> Gnn {
+        let mut rng = StdRng::seed_from_u64(1);
+        Gnn::new(
+            ModelKind::Sage,
+            GnnDims {
+                input: 8,
+                hidden: 8,
+                output: 4,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn reader_covers_every_param() {
+        let m = model();
+        let reader = FaultyWeightReader::for_model(&m, 16);
+        for ps in m.param_shapes() {
+            let fabric = reader.fabric(ps.layer, ps.param);
+            assert_eq!(fabric.shape(), (ps.rows, ps.cols));
+        }
+    }
+
+    #[test]
+    fn fault_free_reader_quantises_only() {
+        let m = model();
+        let reader = FaultyWeightReader::for_model(&m, 16);
+        let w = m.param(0, 0);
+        let read = reader.read(0, 0, w);
+        let res = reader.fabric(0, 0).format().resolution();
+        for (a, b) in w.iter().zip(read.iter()) {
+            assert!((a - b).abs() <= res);
+        }
+    }
+
+    #[test]
+    fn injection_corrupts_some_weights() {
+        let m = model();
+        let mut reader = FaultyWeightReader::for_model(&m, 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        reader.inject(&FaultSpec::density(0.05).sa1_only(), &mut rng);
+        assert!(reader.fault_count() > 0);
+        let mut any_changed = false;
+        for ps in m.param_shapes() {
+            let w = m.param(ps.layer, ps.param);
+            let read = reader.read(ps.layer, ps.param, w);
+            let res = reader.fabric(ps.layer, ps.param).format().resolution();
+            if w.iter().zip(read.iter()).any(|(a, b)| (a - b).abs() > 2.0 * res) {
+                any_changed = true;
+            }
+        }
+        assert!(any_changed, "5% SA1 faults corrupted nothing");
+    }
+
+    #[test]
+    fn optimized_placement_no_worse_than_identity() {
+        let m = model();
+        let mut reader = FaultyWeightReader::for_model(&m, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        reader.inject(&FaultSpec::density(0.05), &mut rng);
+        let identity_cost: f64 = m
+            .param_shapes()
+            .iter()
+            .map(|ps| {
+                reader
+                    .fabric(ps.layer, ps.param)
+                    .placement_cost(m.param(ps.layer, ps.param), None)
+            })
+            .sum();
+        reader.optimize_placements(&m, Matcher::Hungarian);
+        let optimized_cost: f64 = m
+            .param_shapes()
+            .iter()
+            .map(|ps| {
+                let placement = reader.placements.get(&(ps.layer, ps.param)).unwrap();
+                reader
+                    .fabric(ps.layer, ps.param)
+                    .placement_cost(m.param(ps.layer, ps.param), Some(placement))
+            })
+            .sum();
+        assert!(
+            optimized_cost <= identity_cost + 1e-9,
+            "NR placement {optimized_cost} worse than identity {identity_cost}"
+        );
+        reader.clear_placements();
+        assert!(reader.placements.is_empty());
+    }
+
+    #[test]
+    fn mapped_corruption_beats_unaware() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut adj = Matrix::zeros(16, 16);
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                if rand::Rng::gen_bool(&mut rng, 0.2) {
+                    adj[(i, j)] = 1.0;
+                    adj[(j, i)] = 1.0;
+                }
+            }
+        }
+        let mut array = CrossbarArray::new(8, 8);
+        array.inject(&FaultSpec::density(0.06), &mut rng);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        let mapped = corrupt_adjacency_mapped(&adj, &array, &mapping);
+        let unaware = corrupt_adjacency_unaware(&adj, &array);
+        let err = |m: &Matrix| {
+            adj.iter()
+                .zip(m.iter())
+                .filter(|(a, b)| (**a > 0.5) != (**b > 0.5))
+                .count()
+        };
+        assert!(err(&mapped) <= err(&unaware));
+        assert_eq!(err(&mapped), mapping.total_cost());
+    }
+
+    #[test]
+    fn corruption_preserves_shape_and_binarity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let adj = Matrix::from_fn(10, 10, |i, j| if (i + j) % 3 == 0 && i != j { 1.0 } else { 0.0 });
+        let mut array = CrossbarArray::new(9, 4);
+        array.inject(&FaultSpec::density(0.1), &mut rng);
+        let out = corrupt_adjacency_unaware(&adj, &array);
+        assert_eq!(out.shape(), adj.shape());
+        assert!(out.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn targeted_sa1_fabricates_edge_in_unaware_layout() {
+        let adj = Matrix::zeros(4, 4);
+        let mut array = CrossbarArray::new(1, 4);
+        array.crossbar_mut(0).inject_fault(2, 3, StuckPolarity::StuckAtOne);
+        let out = corrupt_adjacency_unaware(&adj, &array);
+        assert_eq!(out[(2, 3)], 1.0);
+    }
+
+    #[test]
+    fn read_clip_bounds_exploded_weights() {
+        let m = model();
+        let mut reader = FaultyWeightReader::for_model(&m, 16);
+        // Force an MSB SA1 on parameter (0,0), weight (0,0): explosion.
+        reader
+            .fabric_mut(0, 0)
+            .array_mut()
+            .crossbar_mut(0)
+            .inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        let unclipped = reader.read(0, 0, m.param(0, 0));
+        assert!(unclipped[(0, 0)].abs() > 10.0, "expected explosion");
+        reader.set_clip(Some(1.0));
+        assert_eq!(reader.clip(), Some(1.0));
+        let clipped = reader.read(0, 0, m.param(0, 0));
+        assert!(clipped.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no fabric")]
+    fn unknown_param_panics() {
+        let m = model();
+        let reader = FaultyWeightReader::for_model(&m, 16);
+        reader.fabric(9, 9);
+    }
+}

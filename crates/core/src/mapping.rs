@@ -1,0 +1,738 @@
+//! Algorithm 1: fault-aware mapping of an adjacency matrix onto ReRAM
+//! crossbars.
+//!
+//! The batch adjacency `A` (binary, `N × N`) is decomposed into `n × n`
+//! blocks (`n` = crossbar size). Two nested bipartite matchings place it:
+//!
+//! - **`G₁` (row permutation)** — for every (block, crossbar) pair, match
+//!   block rows to crossbar rows minimising stored-value/fault
+//!   mismatches. The matching's total weight is the pair's `cost(i, j)`.
+//! - **`G₂` (block placement)** — assign blocks to crossbars minimising
+//!   total `cost(i, j)`.
+//!
+//! Between the two, the paper's pruning heuristic (Algorithm 1 lines
+//! 8–17) exploits SA1 criticality: if even the best block for a crossbar
+//! leaves more SA1 faults exposed than the sparsest block has ones, the
+//! crossbar is removed from the pool (when crossbars are plentiful) or
+//! the sparsest block is deferred (when they are not), giving the
+//! optimiser more freedom.
+
+use fare_matching::{CostMatrix, Matcher};
+use fare_reram::{Crossbar, CrossbarArray};
+use fare_tensor::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the mapping algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Assignment solver for both matchings (paper default: b-Suitor).
+    pub matcher: Matcher,
+    /// Enables the SA1-non-overlap pruning heuristic (lines 8–17).
+    pub prune: bool,
+    /// Optional tile-locality term (extension beyond the paper).
+    pub locality: Option<LocalityConfig>,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        Self {
+            matcher: Matcher::BSuitor,
+            prune: true,
+            locality: None,
+        }
+    }
+}
+
+/// Tile-locality extension: blocks in the same block-row produce partial
+/// sums that must be accumulated together, so scattering them across
+/// tiles costs inter-tile communication. This term biases the `G₂`
+/// assignment toward keeping each block-row inside its *target tile*
+/// (`block_row` spread evenly over the pool's tiles) at the price of a
+/// few extra mismatches — the trade-off the `ablation` binary sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityConfig {
+    /// Crossbars per tile (Table III: 96).
+    pub crossbars_per_tile: usize,
+    /// Weight λ of the tile-distance penalty, in mismatch units per tile
+    /// hop.
+    pub weight: f64,
+}
+
+impl LocalityConfig {
+    /// Creates a locality term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbars_per_tile == 0` or `weight` is negative.
+    pub fn new(crossbars_per_tile: usize, weight: f64) -> Self {
+        assert!(crossbars_per_tile > 0, "crossbars_per_tile must be positive");
+        assert!(weight >= 0.0 && weight.is_finite(), "invalid weight {weight}");
+        Self {
+            crossbars_per_tile,
+            weight,
+        }
+    }
+}
+
+/// Final placement of one adjacency block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPlacement {
+    /// Block row in the block grid.
+    pub block_row: usize,
+    /// Block column in the block grid.
+    pub block_col: usize,
+    /// Index of the crossbar the block is stored on.
+    pub crossbar: usize,
+    /// Logical row → physical row permutation within the crossbar.
+    pub row_perm: Vec<usize>,
+    /// Total mismatches under this placement.
+    pub mismatch_cost: usize,
+    /// SA1-only mismatches (fabricated edges) under this placement.
+    pub sa1_cost: usize,
+}
+
+/// A complete fault-aware mapping `Π` of one adjacency matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    n: usize,
+    grid: usize,
+    placements: Vec<BlockPlacement>,
+}
+
+impl Mapping {
+    /// Crossbar dimension the mapping targets.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Blocks per side of the block grid.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// All block placements (every block of the matrix is placed).
+    pub fn placements(&self) -> &[BlockPlacement] {
+        &self.placements
+    }
+
+    /// Total mismatch cost of the mapping.
+    pub fn total_cost(&self) -> usize {
+        self.placements.iter().map(|p| p.mismatch_cost).sum()
+    }
+
+    /// Total SA1-only cost (fabricated edges surviving the mapping).
+    pub fn total_sa1_cost(&self) -> usize {
+        self.placements.iter().map(|p| p.sa1_cost).sum()
+    }
+
+    /// Mean inter-tile spread per block-row: the average number of
+    /// *extra* tiles (beyond one) each block-row's partial sums must be
+    /// gathered from. 0 means every block-row lives inside a single tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbars_per_tile == 0`.
+    pub fn tile_spread(&self, crossbars_per_tile: usize) -> f64 {
+        assert!(crossbars_per_tile > 0, "crossbars_per_tile must be positive");
+        if self.grid == 0 {
+            return 0.0;
+        }
+        let mut total_extra = 0usize;
+        for br in 0..self.grid {
+            let tiles: std::collections::HashSet<usize> = self
+                .placements
+                .iter()
+                .filter(|p| p.block_row == br)
+                .map(|p| p.crossbar / crossbars_per_tile)
+                .collect();
+            total_extra += tiles.len().saturating_sub(1);
+        }
+        total_extra as f64 / self.grid as f64
+    }
+
+    /// Placement of block `(block_row, block_col)`, if present.
+    pub fn placement_for(&self, block_row: usize, block_col: usize) -> Option<&BlockPlacement> {
+        self.placements
+            .iter()
+            .find(|p| p.block_row == block_row && p.block_col == block_col)
+    }
+}
+
+/// Solves the `G₁` row-permutation matching of one block onto one
+/// crossbar. Returns `(perm, mismatch_cost, sa1_cost)`.
+fn solve_row_permutation(
+    block: &Matrix,
+    xbar: &Crossbar,
+    matcher: Matcher,
+) -> (Vec<usize>, usize, usize) {
+    let n = block.rows();
+    // Fault-free crossbars need no search: identity is optimal (cost 0).
+    if xbar.fault_count() == 0 {
+        return ((0..n).collect(), 0, 0);
+    }
+    let cost = CostMatrix::from_fn(n, xbar.n(), |p, q| xbar.row_mismatch(block.row(p), q) as f64);
+    let sol = matcher.solve(&cost);
+    let perm = sol.to_permutation();
+    let mismatch: usize = perm
+        .iter()
+        .enumerate()
+        .map(|(p, &q)| xbar.row_mismatch(block.row(p), q))
+        .sum();
+    let sa1: usize = perm
+        .iter()
+        .enumerate()
+        .map(|(p, &q)| xbar.row_sa1_mismatch(block.row(p), q))
+        .sum();
+    (perm, mismatch, sa1)
+}
+
+/// Decomposes `adj` into the zero-padded `n × n` block grid.
+fn decompose(adj: &Matrix, n: usize) -> (usize, Vec<(usize, usize, Matrix)>) {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    assert!(adj.rows() > 0, "adjacency must be non-empty");
+    let grid = adj.rows().div_ceil(n);
+    let mut blocks = Vec::with_capacity(grid * grid);
+    for br in 0..grid {
+        for bc in 0..grid {
+            blocks.push((br, bc, adj.block(br * n, bc * n, n, n)));
+        }
+    }
+    (grid, blocks)
+}
+
+/// Number of ones in a block (edge density × n²).
+fn ones_count(block: &Matrix) -> usize {
+    block.count_where(|v| v > 0.5)
+}
+
+/// Runs Algorithm 1: the fault-aware mapping of `adj` onto `array`.
+///
+/// Every block ends up placed (blocks the pruning step defers are
+/// greedily placed on leftover crossbars afterwards — the hardware must
+/// store the whole matrix either way).
+///
+/// # Panics
+///
+/// Panics if `adj` is not square/empty, or there are fewer crossbars than
+/// blocks.
+///
+/// # Example
+///
+/// ```
+/// use fare_core::{map_adjacency, MappingConfig};
+/// use fare_reram::CrossbarArray;
+/// use fare_tensor::Matrix;
+///
+/// let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let array = CrossbarArray::new(2, 4); // fault-free
+/// let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+/// assert_eq!(mapping.total_cost(), 0);
+/// ```
+pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -> Mapping {
+    let n = array.n();
+    let (grid, blocks) = decompose(adj, n);
+    let b = blocks.len();
+    let m = array.len();
+    assert!(
+        b <= m,
+        "not enough crossbars: {b} blocks > {m} crossbars"
+    );
+
+    // cost[i][j] for every (block, crossbar) pair, in parallel.
+    let pair_solutions: Vec<Vec<(Vec<usize>, usize, usize)>> = blocks
+        .par_iter()
+        .map(|(_, _, block)| {
+            (0..m)
+                .map(|j| solve_row_permutation(block, array.crossbar(j), cfg.matcher))
+                .collect()
+        })
+        .collect();
+
+    // Pruning heuristic (lines 8-17).
+    let mut live_blocks: Vec<usize> = (0..b).collect();
+    let mut live_xbars: Vec<usize> = (0..m).collect();
+    let mut deferred_blocks: Vec<usize> = Vec::new();
+    if cfg.prune {
+        let ones: Vec<usize> = blocks.iter().map(|(_, _, bl)| ones_count(bl)).collect();
+        let mut j_idx = 0;
+        while j_idx < live_xbars.len() {
+            let j = live_xbars[j_idx];
+            let min_sa1 = live_blocks
+                .iter()
+                .map(|&i| pair_solutions[i][j].2)
+                .min()
+                .unwrap_or(0);
+            // The sparsest still-live block.
+            let sparsest = live_blocks
+                .iter()
+                .copied()
+                .min_by_key(|&i| ones[i]);
+            let Some(sparsest) = sparsest else { break };
+            if min_sa1 > ones[sparsest] {
+                if live_xbars.len() > live_blocks.len() {
+                    // Plenty of crossbars: drop this hopeless one.
+                    live_xbars.remove(j_idx);
+                    continue; // same j_idx now points at the next crossbar
+                } else {
+                    // b == m: defer the sparsest block instead for freedom.
+                    live_blocks.retain(|&i| i != sparsest);
+                    deferred_blocks.push(sparsest);
+                }
+            }
+            j_idx += 1;
+        }
+    }
+
+    // Final G₂ assignment over the live sets, optionally with the
+    // tile-locality penalty.
+    let locality_penalty = |block_row: usize, xbar: usize| -> f64 {
+        match &cfg.locality {
+            None => 0.0,
+            Some(loc) => {
+                let num_tiles = m.div_ceil(loc.crossbars_per_tile).max(1);
+                let target_tile = block_row * num_tiles / grid.max(1);
+                let tile = xbar / loc.crossbars_per_tile;
+                loc.weight * target_tile.abs_diff(tile) as f64
+            }
+        }
+    };
+    let mut placements: Vec<BlockPlacement> = Vec::with_capacity(b);
+    let mut used_xbars = vec![false; m];
+    if !live_blocks.is_empty() {
+        let g2 = CostMatrix::from_fn(live_blocks.len(), live_xbars.len(), |bi, xj| {
+            let i = live_blocks[bi];
+            let j = live_xbars[xj];
+            pair_solutions[i][j].1 as f64 + locality_penalty(blocks[i].0, j)
+        });
+        let sol = cfg.matcher.solve(&g2);
+        for (bi, assigned) in sol.assignment.iter().enumerate() {
+            let i = live_blocks[bi];
+            let j = live_xbars[assigned.expect("G2 assigns every block")];
+            used_xbars[j] = true;
+            let (perm, cost, sa1) = pair_solutions[i][j].clone();
+            let (br, bc, _) = blocks[i];
+            placements.push(BlockPlacement {
+                block_row: br,
+                block_col: bc,
+                crossbar: j,
+                row_perm: perm,
+                mismatch_cost: cost,
+                sa1_cost: sa1,
+            });
+        }
+    }
+
+    // Deferred blocks: greedy best-remaining-crossbar placement.
+    for &i in &deferred_blocks {
+        let (br, bc, _) = blocks[i];
+        let best = (0..m)
+            .filter(|&j| !used_xbars[j])
+            .min_by_key(|&j| pair_solutions[i][j].1)
+            .expect("b <= m guarantees a free crossbar for deferred blocks");
+        used_xbars[best] = true;
+        let (perm, cost, sa1) = pair_solutions[i][best].clone();
+        placements.push(BlockPlacement {
+            block_row: br,
+            block_col: bc,
+            crossbar: best,
+            row_perm: perm,
+            mismatch_cost: cost,
+            sa1_cost: sa1,
+        });
+    }
+
+    placements.sort_by_key(|p| (p.block_row, p.block_col));
+    Mapping {
+        n,
+        grid,
+        placements,
+    }
+}
+
+/// The cheap fault-unaware mapping: block `k` (row-major) goes to
+/// crossbar `k` with the identity row permutation.
+///
+/// This is both the "fault-unaware" baseline's layout and the starting
+/// point neuron reordering permutes within.
+///
+/// # Panics
+///
+/// Panics if there are fewer crossbars than blocks.
+pub fn sequential_mapping(adj: &Matrix, array: &CrossbarArray) -> Mapping {
+    let n = array.n();
+    let (grid, blocks) = decompose(adj, n);
+    assert!(
+        blocks.len() <= array.len(),
+        "not enough crossbars: {} blocks > {} crossbars",
+        blocks.len(),
+        array.len()
+    );
+    let placements = blocks
+        .into_iter()
+        .enumerate()
+        .map(|(k, (br, bc, block))| {
+            let xbar = array.crossbar(k);
+            let perm: Vec<usize> = (0..n).collect();
+            let mismatch = xbar.mismatch_count(&block, None);
+            let sa1: usize = (0..n).map(|p| xbar.row_sa1_mismatch(block.row(p), p)).sum();
+            BlockPlacement {
+                block_row: br,
+                block_col: bc,
+                crossbar: k,
+                row_perm: perm,
+                mismatch_cost: mismatch,
+                sa1_cost: sa1,
+            }
+        })
+        .collect();
+    Mapping {
+        n,
+        grid,
+        placements,
+    }
+}
+
+/// Neuron-reordering-style mapping: keeps the sequential block→crossbar
+/// assignment but optimises the row permutation within each crossbar.
+///
+/// This is the aggregation-phase half of the NR baseline — permutation
+/// without fault-polarity-aware block placement.
+///
+/// # Panics
+///
+/// Panics if there are fewer crossbars than blocks.
+pub fn reordered_sequential_mapping(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    matcher: Matcher,
+) -> Mapping {
+    let n = array.n();
+    let (grid, blocks) = decompose(adj, n);
+    assert!(
+        blocks.len() <= array.len(),
+        "not enough crossbars: {} blocks > {} crossbars",
+        blocks.len(),
+        array.len()
+    );
+    let placements = blocks
+        .into_par_iter()
+        .enumerate()
+        .map(|(k, (br, bc, block))| {
+            let (perm, cost, sa1) = solve_row_permutation(&block, array.crossbar(k), matcher);
+            BlockPlacement {
+                block_row: br,
+                block_col: bc,
+                crossbar: k,
+                row_perm: perm,
+                mismatch_cost: cost,
+                sa1_cost: sa1,
+            }
+        })
+        .collect();
+    Mapping {
+        n,
+        grid,
+        placements,
+    }
+}
+
+/// Post-deployment refresh (Section IV-A): keeps the block→crossbar
+/// assignment `Π` but recomputes each block's row permutation against the
+/// crossbar's *current* fault state.
+///
+/// This is the linear-cost maintenance step FARe runs after each
+/// per-epoch BIST scan instead of re-running the full Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `mapping` refers to crossbars `array` does not have, or its
+/// geometry disagrees with `adj`.
+pub fn refresh_row_permutations(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    mapping: &Mapping,
+    matcher: Matcher,
+) -> Mapping {
+    let n = array.n();
+    assert_eq!(mapping.n, n, "mapping crossbar size mismatch");
+    assert_eq!(
+        mapping.grid,
+        adj.rows().div_ceil(n),
+        "mapping grid does not match adjacency"
+    );
+    let placements = mapping
+        .placements
+        .par_iter()
+        .map(|p| {
+            let block = adj.block(p.block_row * n, p.block_col * n, n, n);
+            let (perm, cost, sa1) =
+                solve_row_permutation(&block, array.crossbar(p.crossbar), matcher);
+            BlockPlacement {
+                row_perm: perm,
+                mismatch_cost: cost,
+                sa1_cost: sa1,
+                ..p.clone()
+            }
+        })
+        .collect();
+    Mapping {
+        n,
+        grid: mapping.grid,
+        placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fare_reram::{FaultSpec, StuckPolarity};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    fn random_adj(n: usize, p: f64, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p) {
+                    adj[(i, j)] = 1.0;
+                    adj[(j, i)] = 1.0;
+                }
+            }
+        }
+        adj
+    }
+
+    fn faulty_array(count: usize, n: usize, density: f64, seed: u64) -> CrossbarArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut array = CrossbarArray::new(count, n);
+        array.inject(&FaultSpec::density(density), &mut rng);
+        array
+    }
+
+    #[test]
+    fn fault_free_mapping_has_zero_cost() {
+        let adj = random_adj(16, 0.2, 1);
+        let array = CrossbarArray::new(4, 8);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        assert_eq!(mapping.total_cost(), 0);
+        assert_eq!(mapping.placements().len(), 4);
+    }
+
+    #[test]
+    fn every_block_is_placed_on_distinct_crossbar() {
+        let adj = random_adj(24, 0.15, 2);
+        let array = faulty_array(12, 8, 0.05, 3);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        assert_eq!(mapping.placements().len(), 9); // ceil(24/8)² = 9
+        let mut used = std::collections::HashSet::new();
+        for p in mapping.placements() {
+            assert!(used.insert(p.crossbar), "crossbar {} reused", p.crossbar);
+            assert!(p.crossbar < array.len());
+        }
+    }
+
+    #[test]
+    fn row_perms_are_valid_permutations() {
+        let adj = random_adj(16, 0.2, 4);
+        let array = faulty_array(6, 8, 0.05, 5);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        for p in mapping.placements() {
+            let mut sorted = p.row_perm.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.row_perm.len(), "duplicate physical rows");
+            assert!(p.row_perm.iter().all(|&q| q < array.n()));
+        }
+    }
+
+    #[test]
+    fn fare_cost_no_worse_than_unaware() {
+        for seed in 0..5 {
+            let adj = random_adj(32, 0.1, seed);
+            let array = faulty_array(20, 16, 0.05, seed + 100);
+            let fare = map_adjacency(&adj, &array, &MappingConfig::default());
+            let unaware = sequential_mapping(&adj, &array);
+            assert!(
+                fare.total_cost() <= unaware.total_cost(),
+                "seed {seed}: fare {} > unaware {}",
+                fare.total_cost(),
+                unaware.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn hungarian_no_worse_than_bsuitor() {
+        let adj = random_adj(32, 0.1, 9);
+        let array = faulty_array(8, 16, 0.05, 10);
+        let exact = map_adjacency(
+            &adj,
+            &array,
+            &MappingConfig {
+                matcher: Matcher::Hungarian,
+                prune: false,
+                ..MappingConfig::default()
+            },
+        );
+        let approx = map_adjacency(
+            &adj,
+            &array,
+            &MappingConfig {
+                matcher: Matcher::BSuitor,
+                prune: false,
+                ..MappingConfig::default()
+            },
+        );
+        assert!(exact.total_cost() <= approx.total_cost());
+    }
+
+    #[test]
+    fn mapping_dodges_a_targeted_fault() {
+        // Crossbar 0 has an SA0 right where the only 1 of the matrix sits;
+        // crossbar 1 is clean. FARe must avoid corruption entirely.
+        let mut adj = Matrix::zeros(4, 4);
+        adj[(0, 1)] = 1.0;
+        adj[(1, 0)] = 1.0;
+        let mut array = CrossbarArray::new(2, 4);
+        array.crossbar_mut(0).inject_fault(0, 1, StuckPolarity::StuckAtZero);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        assert_eq!(mapping.total_cost(), 0);
+    }
+
+    #[test]
+    fn reordered_sequential_keeps_block_order() {
+        let adj = random_adj(16, 0.2, 11);
+        let array = faulty_array(4, 8, 0.05, 12);
+        let nr = reordered_sequential_mapping(&adj, &array, Matcher::BSuitor);
+        for (k, p) in nr.placements().iter().enumerate() {
+            assert_eq!(p.crossbar, k);
+        }
+        let unaware = sequential_mapping(&adj, &array);
+        assert!(nr.total_cost() <= unaware.total_cost());
+    }
+
+    #[test]
+    fn refresh_keeps_assignment_reoptimises_perms() {
+        let adj = random_adj(16, 0.2, 13);
+        let mut array = faulty_array(8, 8, 0.02, 14);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        // New post-deployment faults appear.
+        let mut rng = StdRng::seed_from_u64(15);
+        array.inject(&FaultSpec::density(0.02), &mut rng);
+        let refreshed = refresh_row_permutations(&adj, &array, &mapping, Matcher::BSuitor);
+        for (a, b) in mapping.placements().iter().zip(refreshed.placements()) {
+            assert_eq!(a.crossbar, b.crossbar, "assignment must be preserved");
+            assert_eq!((a.block_row, a.block_col), (b.block_row, b.block_col));
+        }
+        // Refreshed cost reflects the *current* fault state; stale cost
+        // fields do not.
+        let stale_actual: usize = mapping
+            .placements()
+            .iter()
+            .map(|p| {
+                let block = adj.block(p.block_row * 8, p.block_col * 8, 8, 8);
+                array
+                    .crossbar(p.crossbar)
+                    .mismatch_count(&block, Some(&p.row_perm))
+            })
+            .sum();
+        assert!(refreshed.total_cost() <= stale_actual);
+    }
+
+    #[test]
+    fn pruning_never_loses_blocks() {
+        let adj = random_adj(32, 0.02, 16); // sparse: pruning likely active
+        let array = faulty_array(16, 8, 0.05, 17);
+        let pruned = map_adjacency(
+            &adj,
+            &array,
+            &MappingConfig {
+                matcher: Matcher::BSuitor,
+                prune: true,
+                ..MappingConfig::default()
+            },
+        );
+        assert_eq!(pruned.placements().len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for p in pruned.placements() {
+            assert!(seen.insert((p.block_row, p.block_col)));
+        }
+    }
+
+    #[test]
+    fn placement_lookup() {
+        let adj = random_adj(16, 0.2, 18);
+        let array = faulty_array(4, 8, 0.03, 19);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        assert!(mapping.placement_for(0, 0).is_some());
+        assert!(mapping.placement_for(1, 1).is_some());
+        assert!(mapping.placement_for(2, 0).is_none());
+        assert_eq!(mapping.grid(), 2);
+        assert_eq!(mapping.n(), 8);
+    }
+
+    #[test]
+    fn locality_term_reduces_tile_spread() {
+        use crate::mapping::LocalityConfig;
+        let adj = random_adj(32, 0.15, 30);
+        let array = faulty_array(16, 8, 0.04, 31);
+        let plain = map_adjacency(&adj, &array, &MappingConfig::default());
+        let local = map_adjacency(
+            &adj,
+            &array,
+            &MappingConfig {
+                locality: Some(LocalityConfig::new(4, 10.0)),
+                ..MappingConfig::default()
+            },
+        );
+        assert!(
+            local.tile_spread(4) <= plain.tile_spread(4),
+            "locality {} vs plain {}",
+            local.tile_spread(4),
+            plain.tile_spread(4)
+        );
+        // All blocks still placed on distinct crossbars.
+        assert_eq!(local.placements().len(), plain.placements().len());
+    }
+
+    #[test]
+    fn zero_weight_locality_is_noop() {
+        use crate::mapping::LocalityConfig;
+        let adj = random_adj(16, 0.2, 32);
+        let array = faulty_array(8, 8, 0.05, 33);
+        let plain = map_adjacency(&adj, &array, &MappingConfig::default());
+        let zero = map_adjacency(
+            &adj,
+            &array,
+            &MappingConfig {
+                locality: Some(LocalityConfig::new(4, 0.0)),
+                ..MappingConfig::default()
+            },
+        );
+        assert_eq!(zero.total_cost(), plain.total_cost());
+    }
+
+    #[test]
+    fn tile_spread_metric_bounds() {
+        let adj = random_adj(16, 0.2, 34);
+        let array = faulty_array(8, 8, 0.03, 35);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        // grid = 2, so each block-row has 2 blocks: spread in [0, 1].
+        let s = mapping.tile_spread(4);
+        assert!((0.0..=1.0).contains(&s), "spread {s}");
+        // One-crossbar-per-tile: spread is maximal (both blocks of a row
+        // are always on different "tiles").
+        assert_eq!(mapping.tile_spread(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough crossbars")]
+    fn too_few_crossbars_panics() {
+        let adj = random_adj(32, 0.1, 20);
+        let array = CrossbarArray::new(2, 8);
+        map_adjacency(&adj, &array, &MappingConfig::default());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the FARe mapping algorithm.
+
+use fare_core::mapping::{
+    map_adjacency, refresh_row_permutations, reordered_sequential_mapping, sequential_mapping,
+    MappingConfig,
+};
+use fare_core::{corrupt_adjacency_mapped, corrupt_adjacency_unaware};
+use fare_matching::Matcher;
+use fare_reram::{CrossbarArray, FaultSpec};
+use fare_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(nodes: usize, n: usize, seed: u64, density: f64) -> (Matrix, CrossbarArray) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj = Matrix::zeros(nodes, nodes);
+    for i in 0..nodes {
+        for j in (i + 1)..nodes {
+            if rand::Rng::gen_bool(&mut rng, 0.15) {
+                adj[(i, j)] = 1.0;
+                adj[(j, i)] = 1.0;
+            }
+        }
+    }
+    let blocks = nodes.div_ceil(n).pow(2);
+    let mut array = CrossbarArray::new(blocks * 2, n);
+    array.inject(&FaultSpec::with_sa1_fraction(density, 0.5), &mut rng);
+    (adj, array)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mapping_covers_every_block_once(
+        seed in 0u64..1000,
+        density in 0.0f64..0.1,
+    ) {
+        let (adj, array) = instance(24, 8, seed, density);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        prop_assert_eq!(mapping.placements().len(), 9);
+        let mut blocks = std::collections::HashSet::new();
+        let mut xbars = std::collections::HashSet::new();
+        for p in mapping.placements() {
+            prop_assert!(blocks.insert((p.block_row, p.block_col)));
+            prop_assert!(xbars.insert(p.crossbar));
+        }
+    }
+
+    #[test]
+    fn mapping_cost_is_exact_corruption_error(
+        seed in 0u64..1000,
+        density in 0.0f64..0.1,
+    ) {
+        let (adj, array) = instance(24, 8, seed, density);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        let corrupted = corrupt_adjacency_mapped(&adj, &array, &mapping);
+        let errors = adj
+            .iter()
+            .zip(corrupted.iter())
+            .filter(|(a, b)| (**a > 0.5) != (**b > 0.5))
+            .count();
+        prop_assert_eq!(errors, mapping.total_cost());
+    }
+
+    #[test]
+    fn fare_never_worse_than_unaware_or_nr(
+        seed in 0u64..1000,
+        density in 0.0f64..0.1,
+    ) {
+        let (adj, array) = instance(24, 8, seed, density);
+        let fare = map_adjacency(&adj, &array, &MappingConfig {
+            matcher: Matcher::Hungarian,
+            prune: false,
+            ..MappingConfig::default()
+        });
+        let nr = reordered_sequential_mapping(&adj, &array, Matcher::Hungarian);
+        let unaware = sequential_mapping(&adj, &array);
+        prop_assert!(fare.total_cost() <= nr.total_cost());
+        prop_assert!(nr.total_cost() <= unaware.total_cost());
+    }
+
+    #[test]
+    fn refresh_preserves_assignment_and_improves_cost(
+        seed in 0u64..1000,
+        extra in 0.005f64..0.03,
+    ) {
+        let (adj, mut array) = instance(24, 8, seed, 0.03);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        array.inject(&FaultSpec::density(extra), &mut rng);
+        let refreshed = refresh_row_permutations(&adj, &array, &mapping, Matcher::Hungarian);
+        // Assignment preserved.
+        for (a, b) in mapping.placements().iter().zip(refreshed.placements()) {
+            prop_assert_eq!(a.crossbar, b.crossbar);
+        }
+        // Refreshed perms are no worse than keeping the stale ones.
+        let stale_cost: usize = mapping
+            .placements()
+            .iter()
+            .map(|p| {
+                let block = adj.block(p.block_row * 8, p.block_col * 8, 8, 8);
+                array.crossbar(p.crossbar).mismatch_count(&block, Some(&p.row_perm))
+            })
+            .sum();
+        prop_assert!(refreshed.total_cost() <= stale_cost);
+    }
+
+    #[test]
+    fn unaware_corruption_is_deterministic(
+        seed in 0u64..1000,
+    ) {
+        let (adj, array) = instance(16, 8, seed, 0.05);
+        let a = corrupt_adjacency_unaware(&adj, &array);
+        let b = corrupt_adjacency_unaware(&adj, &array);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_density_mapping_is_free(seed in 0u64..1000) {
+        let (adj, _) = instance(24, 8, seed, 0.0);
+        let array = CrossbarArray::new(18, 8);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        prop_assert_eq!(mapping.total_cost(), 0);
+        prop_assert_eq!(mapping.total_sa1_cost(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+use fare_tensor::{init, ops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::WeightReader;
+
+/// Negative-side slope of the attention LeakyReLU (GAT paper value).
+const ATTENTION_SLOPE: f32 = 0.2;
+
+/// One single-head graph-attention layer.
+///
+/// For each edge `(i, j)` (plus self loops) the attention logit is
+/// `LeakyReLU(a_srcᵀ·z_i + a_dstᵀ·z_j)` with `z = H·W`; logits are
+/// softmax-normalised over each node's neighbourhood and used to mix the
+/// transformed features. Hidden layers apply ELU; the output layer emits
+/// raw logits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatLayer {
+    weight: Matrix,
+    attn_src: Matrix,
+    attn_dst: Matrix,
+}
+
+/// Forward-pass cache for [`GatLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct GatCache {
+    input: Matrix,
+    /// Z = H·W.
+    transformed: Matrix,
+    /// s_i + t_j logit matrix (pre-LeakyReLU), dense.
+    logit_sum: Matrix,
+    /// Neighbourhood mask (adjacency + self loops), 0/1.
+    mask: Matrix,
+    /// Softmaxed attention S.
+    attention: Matrix,
+    /// Pre-activation P = S·Z.
+    pre_activation: Matrix,
+    weight_read: Matrix,
+    attn_src_read: Matrix,
+    attn_dst_read: Matrix,
+    output_layer: bool,
+}
+
+impl GatLayer {
+    /// Creates a layer with Xavier-initialised weights and attention
+    /// vectors.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: init::xavier_uniform(in_dim, out_dim, rng),
+            attn_src: init::xavier_uniform(out_dim, 1, rng),
+            attn_dst: init::xavier_uniform(out_dim, 1, rng),
+        }
+    }
+
+    /// Shapes of this layer's parameters: `[W, a_src, a_dst]`.
+    pub fn param_shapes(&self) -> Vec<(usize, usize)> {
+        vec![
+            self.weight.shape(),
+            self.attn_src.shape(),
+            self.attn_dst.shape(),
+        ]
+    }
+
+    /// Borrows parameter `i` (0 = W, 1 = a_src, 2 = a_dst).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    pub fn param(&self, i: usize) -> &Matrix {
+        match i {
+            0 => &self.weight,
+            1 => &self.attn_src,
+            2 => &self.attn_dst,
+            _ => panic!("GatLayer has 3 parameters, index {i} invalid"),
+        }
+    }
+
+    /// Mutably borrows parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    pub fn param_mut(&mut self, i: usize) -> &mut Matrix {
+        match i {
+            0 => &mut self.weight,
+            1 => &mut self.attn_src,
+            2 => &mut self.attn_dst,
+            _ => panic!("GatLayer has 3 parameters, index {i} invalid"),
+        }
+    }
+
+    /// Forward pass over the binary batch adjacency.
+    pub fn forward(
+        &self,
+        adj: &Matrix,
+        input: &Matrix,
+        reader: &impl WeightReader,
+        layer_index: usize,
+        output_layer: bool,
+    ) -> (Matrix, GatCache) {
+        let n = adj.rows();
+        assert_eq!(adj.cols(), n, "adjacency must be square");
+        let weight_read = reader.read(layer_index, 0, &self.weight);
+        let attn_src_read = reader.read(layer_index, 1, &self.attn_src);
+        let attn_dst_read = reader.read(layer_index, 2, &self.attn_dst);
+
+        let transformed = input.matmul(&weight_read); // Z
+        let s = transformed.matmul(&attn_src_read); // n×1
+        let t = transformed.matmul(&attn_dst_read); // n×1
+
+        let mask = Matrix::from_fn(n, n, |i, j| {
+            if i == j || adj[(i, j)] > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let logit_sum = Matrix::from_fn(n, n, |i, j| s[(i, 0)] + t[(j, 0)]);
+        let logits = Matrix::from_fn(n, n, |i, j| {
+            if mask[(i, j)] > 0.5 {
+                let v = logit_sum[(i, j)];
+                if v > 0.0 {
+                    v
+                } else {
+                    ATTENTION_SLOPE * v
+                }
+            } else {
+                f32::NEG_INFINITY
+            }
+        });
+        let attention = ops::softmax_rows(&logits);
+        let pre_activation = attention.matmul(&transformed);
+        let out = if output_layer {
+            pre_activation.clone()
+        } else {
+            ops::elu(&pre_activation)
+        };
+        (
+            out,
+            GatCache {
+                input: input.clone(),
+                transformed,
+                logit_sum,
+                mask,
+                attention,
+                pre_activation,
+                weight_read,
+                attn_src_read,
+                attn_dst_read,
+                output_layer,
+            },
+        )
+    }
+
+    /// Backward pass: returns `([grad_W, grad_a_src, grad_a_dst],
+    /// grad_input)`.
+    pub fn backward(&self, cache: &GatCache, grad_output: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let n = cache.attention.rows();
+        let grad_p = if cache.output_layer {
+            grad_output.clone()
+        } else {
+            grad_output.hadamard(&ops::elu_grad(&cache.pre_activation))
+        };
+
+        // P = S·Z.
+        let grad_s_mat = grad_p.matmul_t(&cache.transformed); // dS, n×n
+        let mut grad_z = cache.attention.t_matmul(&grad_p); // Sᵀ·dP
+
+        // Softmax backward per row: dE_ij = S_ij (dS_ij − Σ_k dS_ik S_ik).
+        let mut grad_e = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut dot = 0.0f32;
+            for k in 0..n {
+                dot += grad_s_mat[(i, k)] * cache.attention[(i, k)];
+            }
+            for j in 0..n {
+                grad_e[(i, j)] = cache.attention[(i, j)] * (grad_s_mat[(i, j)] - dot);
+            }
+        }
+        // LeakyReLU backward on the masked logits.
+        let grad_pre = Matrix::from_fn(n, n, |i, j| {
+            if cache.mask[(i, j)] > 0.5 {
+                let slope = if cache.logit_sum[(i, j)] > 0.0 {
+                    1.0
+                } else {
+                    ATTENTION_SLOPE
+                };
+                grad_e[(i, j)] * slope
+            } else {
+                0.0
+            }
+        });
+
+        // ds_i = Σ_j dPre_ij ; dt_j = Σ_i dPre_ij.
+        let mut grad_s_vec = Matrix::zeros(n, 1);
+        let mut grad_t_vec = Matrix::zeros(n, 1);
+        for i in 0..n {
+            for j in 0..n {
+                grad_s_vec[(i, 0)] += grad_pre[(i, j)];
+                grad_t_vec[(j, 0)] += grad_pre[(i, j)];
+            }
+        }
+
+        // s = Z·a_src, t = Z·a_dst.
+        grad_z += &grad_s_vec.matmul_t(&cache.attn_src_read);
+        grad_z += &grad_t_vec.matmul_t(&cache.attn_dst_read);
+        let grad_attn_src = cache.transformed.t_matmul(&grad_s_vec);
+        let grad_attn_dst = cache.transformed.t_matmul(&grad_t_vec);
+
+        // Z = H·W.
+        let grad_w = cache.input.t_matmul(&grad_z);
+        let grad_input = grad_z.matmul_t(&cache.weight_read);
+        (vec![grad_w, grad_attn_src, grad_attn_dst], grad_input)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-style loops keep the FD checks readable
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::IdealReader;
+
+    fn setup() -> (GatLayer, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = GatLayer::new(3, 2, &mut rng);
+        let adj = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let x = init::normal(3, 3, 1.0, &mut rng);
+        (layer, adj, x)
+    }
+
+    #[test]
+    fn forward_shapes_and_three_params() {
+        let (layer, adj, x) = setup();
+        let (out, _) = layer.forward(&adj, &x, &IdealReader, 0, false);
+        assert_eq!(out.shape(), (3, 2));
+        assert_eq!(layer.param_shapes().len(), 3);
+    }
+
+    #[test]
+    fn attention_rows_are_distributions_over_neighbourhood() {
+        let (layer, adj, x) = setup();
+        let (_, cache) = layer.forward(&adj, &x, &IdealReader, 0, false);
+        for i in 0..3 {
+            let sum: f32 = cache.attention.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for j in 0..3 {
+                if cache.mask[(i, j)] < 0.5 {
+                    assert_eq!(cache.attention[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_attends_to_itself() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = GatLayer::new(2, 2, &mut rng);
+        let adj = Matrix::zeros(2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 0.5], &[0.2, -0.3]]);
+        let (_, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
+        assert!((cache.attention[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((cache.attention[(1, 1)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_gradients_match_finite_difference() {
+        let (mut layer, adj, x) = setup();
+        let labels = [0usize, 1, 1];
+        let loss_of = |l: &GatLayer| {
+            let (out, _) = l.forward(&adj, &x, &IdealReader, 0, true);
+            ops::cross_entropy_with_grad(&out, &labels).0
+        };
+        let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
+        let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
+        let (grads, _) = layer.backward(&cache, &grad_logits);
+
+        let eps = 1e-3f32;
+        for p in 0..3 {
+            let (rows, cols) = layer.param(p).shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = layer.param(p)[(r, c)];
+                    layer.param_mut(p)[(r, c)] = orig + eps;
+                    let lp = loss_of(&layer);
+                    layer.param_mut(p)[(r, c)] = orig - eps;
+                    let lm = loss_of(&layer);
+                    layer.param_mut(p)[(r, c)] = orig;
+                    let fd = (lp - lm) / (2.0 * eps);
+                    assert!(
+                        (fd - grads[p][(r, c)]).abs() < 5e-3,
+                        "param {p} fd {fd} vs analytic {} at ({r},{c})",
+                        grads[p][(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let (layer, adj, x) = setup();
+        let labels = [0usize, 1, 1];
+        let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
+        let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
+        let (_, grad_input) = layer.backward(&cache, &grad_logits);
+
+        let eps = 1e-3f32;
+        let mut x2 = x.clone();
+        for r in 0..3 {
+            for c in 0..3 {
+                let orig = x2[(r, c)];
+                x2[(r, c)] = orig + eps;
+                let (op, _) = layer.forward(&adj, &x2, &IdealReader, 0, true);
+                let lp = ops::cross_entropy_with_grad(&op, &labels).0;
+                x2[(r, c)] = orig - eps;
+                let (om, _) = layer.forward(&adj, &x2, &IdealReader, 0, true);
+                let lm = ops::cross_entropy_with_grad(&om, &labels).0;
+                x2[(r, c)] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad_input[(r, c)]).abs() < 5e-3,
+                    "fd {fd} vs analytic {} at ({r},{c})",
+                    grad_input[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3 parameters")]
+    fn param_index_out_of_range() {
+        let (layer, _, _) = setup();
+        layer.param(3);
+    }
+}

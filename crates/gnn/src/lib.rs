@@ -1,0 +1,52 @@
+//! Graph neural networks with hand-derived backpropagation.
+//!
+//! Three model families, matching the paper's Table II workloads:
+//!
+//! - [`layers::GcnLayer`] — graph convolution, `act(Â·H·W)` with the
+//!   symmetric Kipf–Welling normalisation `Â = D^{-1/2}(A+I)D^{-1/2}`,
+//! - [`layers::SageLayer`] — GraphSAGE mean aggregation,
+//!   `act(H·W_self + D^{-1}A·H·W_neigh)`,
+//! - [`layers::GatLayer`] — single-head additive graph attention.
+//!
+//! Every forward pass pulls its parameters through a [`WeightReader`],
+//! the hook that lets the same model train on ideal hardware
+//! ([`IdealReader`]) or on a faulty ReRAM fabric (implemented in
+//! `fare-core`). Adjacency corruption happens *before* the model sees the
+//! batch — models receive a (possibly fault-corrupted) binary adjacency
+//! and normalise it internally.
+//!
+//! # Example
+//!
+//! ```
+//! use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
+//! use fare_graph::datasets::ModelKind;
+//! use fare_tensor::{ops, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let dims = GnnDims { input: 4, hidden: 8, output: 2 };
+//! let mut model = Gnn::new(ModelKind::Gcn, dims, &mut rng);
+//! let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]);
+//! let mut opt = Adam::new(0.01, &model);
+//!
+//! let (logits, cache) = model.forward(&adj, &x, &IdealReader);
+//! let (_, grad) = ops::cross_entropy_with_grad(&logits, &[0, 1]);
+//! let grads = model.backward(&cache, &grad);
+//! model.apply_gradients(&grads, &mut opt);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod layers;
+pub mod link;
+pub mod metrics;
+mod model;
+mod optim;
+mod reader;
+
+pub use model::{Gnn, GnnDims, Gradients, ParamShape};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use reader::{IdealReader, WeightReader};

@@ -1,0 +1,170 @@
+//! Classification metrics for GNN evaluation.
+
+use fare_tensor::Matrix;
+
+/// Accuracy over the rows of `logits` selected by `mask`.
+///
+/// Rows where `mask` is `false` are ignored — this is how train/test
+/// splits are evaluated on a shared logit matrix. Returns 0 when the mask
+/// selects nothing.
+///
+/// # Panics
+///
+/// Panics if lengths disagree with `logits.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use fare_gnn::metrics::masked_accuracy;
+/// use fare_tensor::Matrix;
+/// let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// let acc = masked_accuracy(&logits, &[0, 0], &[true, true]);
+/// assert_eq!(acc, 0.5);
+/// ```
+pub fn masked_accuracy(logits: &Matrix, labels: &[usize], mask: &[bool]) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
+    assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    let preds = logits.argmax_rows();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..labels.len() {
+        if mask[i] {
+            total += 1;
+            if preds[i] == labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Confusion matrix: `out[(true_class, predicted_class)]` counts.
+///
+/// # Panics
+///
+/// Panics if any label or prediction is `>= num_classes`, or lengths
+/// disagree.
+pub fn confusion_matrix(preds: &[usize], labels: &[usize], num_classes: usize) -> Matrix {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    let mut m = Matrix::zeros(num_classes, num_classes);
+    for (&p, &l) in preds.iter().zip(labels) {
+        assert!(p < num_classes && l < num_classes, "class id out of range");
+        m[(l, p)] += 1.0;
+    }
+    m
+}
+
+/// Micro-averaged F1 score (for multi-class single-label this equals
+/// accuracy, which is why the paper reports them interchangeably; kept
+/// separate for clarity and future multi-label use).
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range classes.
+pub fn micro_f1(preds: &[usize], labels: &[usize], num_classes: usize) -> f64 {
+    let cm = confusion_matrix(preds, labels, num_classes);
+    let mut tp = 0.0f64;
+    let mut fp = 0.0f64;
+    let mut fn_ = 0.0f64;
+    for c in 0..num_classes {
+        tp += cm[(c, c)] as f64;
+        for o in 0..num_classes {
+            if o != c {
+                fp += cm[(o, c)] as f64;
+                fn_ += cm[(c, o)] as f64;
+            }
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Macro-averaged F1 score: unweighted mean of per-class F1.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range classes.
+pub fn macro_f1(preds: &[usize], labels: &[usize], num_classes: usize) -> f64 {
+    let cm = confusion_matrix(preds, labels, num_classes);
+    let mut sum = 0.0f64;
+    for c in 0..num_classes {
+        let tp = cm[(c, c)] as f64;
+        let fp: f64 = (0..num_classes)
+            .filter(|&o| o != c)
+            .map(|o| cm[(o, c)] as f64)
+            .sum();
+        let fn_: f64 = (0..num_classes)
+            .filter(|&o| o != c)
+            .map(|o| cm[(c, o)] as f64)
+            .sum();
+        let denom = 2.0 * tp + fp + fn_;
+        if denom > 0.0 {
+            sum += 2.0 * tp / denom;
+        }
+    }
+    sum / num_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_accuracy_respects_mask() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        // Only rows 0 and 2 count; both correct.
+        let acc = masked_accuracy(&logits, &[0, 1, 1], &[true, false, true]);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn masked_accuracy_empty_mask_is_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert_eq!(masked_accuracy(&logits, &[0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(cm[(0, 0)], 2.0); // true 0 predicted 0
+        assert_eq!(cm[(0, 1)], 1.0); // true 0 predicted 1
+        assert_eq!(cm[(1, 1)], 1.0);
+        assert_eq!(cm[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy_single_label() {
+        let preds = [0usize, 1, 2, 1, 0, 2, 2];
+        let labels = [0usize, 1, 1, 1, 2, 2, 2];
+        let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / 7.0;
+        assert!((micro_f1(&preds, &labels, 3) - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_perfect_prediction() {
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        assert!((macro_f1(&labels, &labels, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalises_missing_class() {
+        // Class 2 never predicted.
+        let preds = [0usize, 1, 0, 0, 1, 0];
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        assert!(macro_f1(&preds, &labels, 3) < micro_f1(&preds, &labels, 3) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "class id out of range")]
+    fn confusion_rejects_bad_class() {
+        confusion_matrix(&[3], &[0], 2);
+    }
+}

@@ -1,0 +1,62 @@
+use fare_tensor::Matrix;
+
+/// Hook through which a model reads its own parameters during a forward
+/// pass.
+///
+/// On ideal hardware this is the identity. On a simulated ReRAM
+/// accelerator (`fare-core`'s faulty reader) it round-trips each
+/// parameter through its crossbar fabric — quantising to 16-bit fixed
+/// point and forcing every stuck cell — so the *computation* sees exactly
+/// what the hardware would.
+///
+/// `layer` and `param` identify the parameter (see
+/// [`crate::Gnn::param_shapes`]); implementations may use them to look up
+/// the matching fabric.
+pub trait WeightReader {
+    /// Returns the parameter value as the hardware reads it.
+    fn read(&self, layer: usize, param: usize, value: &Matrix) -> Matrix;
+}
+
+/// Identity reader: ideal, fault-free hardware with full-precision
+/// weights.
+///
+/// # Example
+///
+/// ```
+/// use fare_gnn::{IdealReader, WeightReader};
+/// use fare_tensor::Matrix;
+/// let w = Matrix::identity(3);
+/// assert_eq!(IdealReader.read(0, 0, &w), w);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealReader;
+
+impl WeightReader for IdealReader {
+    fn read(&self, _layer: usize, _param: usize, value: &Matrix) -> Matrix {
+        value.clone()
+    }
+}
+
+impl<R: WeightReader + ?Sized> WeightReader for &R {
+    fn read(&self, layer: usize, param: usize, value: &Matrix) -> Matrix {
+        (**self).read(layer, param, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_reader_is_identity() {
+        let w = Matrix::from_rows(&[&[1.5, -2.5]]);
+        assert_eq!(IdealReader.read(3, 1, &w), w);
+    }
+
+    #[test]
+    fn reader_usable_as_trait_object() {
+        let reader: &dyn WeightReader = &IdealReader;
+        let w = Matrix::zeros(2, 2);
+        assert_eq!(reader.read(0, 0, &w), w);
+    }
+}

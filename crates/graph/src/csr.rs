@@ -1,0 +1,440 @@
+use std::collections::BTreeSet;
+
+use fare_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph in compressed sparse row form.
+///
+/// Nodes are `0..num_nodes()`. Each undirected edge `{u, v}` is stored in
+/// both adjacency lists; lists are sorted and deduplicated. Self loops are
+/// not stored (the GNN normalisation adds them analytically).
+///
+/// # Example
+///
+/// ```
+/// use fare_graph::CsrGraph;
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Duplicate edges and self loops are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); num_nodes];
+        for &(u, v) in edges {
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u},{v}) out of range for {num_nodes} nodes"
+            );
+            if u == v {
+                continue;
+            }
+            adj[u].insert(v);
+            adj[v].insert(u);
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for set in adj {
+            neighbors.extend(set);
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Graph with `num_nodes` nodes and no edges.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            offsets: vec![0; num_nodes + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbours of node `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= num_nodes()`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        assert!(u < self.num_nodes(), "node {u} out of range");
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= num_nodes()`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// `true` if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.num_nodes() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Edge density: `2|E| / (n (n-1))`, 0 for graphs with < 2 nodes.
+    pub fn density(&self) -> f64 {
+        let n = self.num_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        (2 * self.num_edges()) as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Dense 0/1 adjacency matrix.
+    ///
+    /// Used when mapping small subgraph adjacency blocks onto crossbars.
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.num_nodes();
+        let mut m = Matrix::zeros(n, n);
+        for (u, v) in self.edges() {
+            m[(u, v)] = 1.0;
+            m[(v, u)] = 1.0;
+        }
+        m
+    }
+
+    /// Subgraph induced by `nodes` (order defines the new node ids).
+    ///
+    /// Returns the induced graph; `nodes[i]` becomes node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> CsrGraph {
+        let mut global_to_local = std::collections::HashMap::with_capacity(nodes.len());
+        for (local, &global) in nodes.iter().enumerate() {
+            assert!(global < self.num_nodes(), "node {global} out of range");
+            let prev = global_to_local.insert(global, local);
+            assert!(prev.is_none(), "duplicate node {global} in induced_subgraph");
+        }
+        let mut edges = Vec::new();
+        for (local_u, &global_u) in nodes.iter().enumerate() {
+            for &global_v in self.neighbors(global_u) {
+                if let Some(&local_v) = global_to_local.get(&global_v) {
+                    if local_u < local_v {
+                        edges.push((local_u, local_v));
+                    }
+                }
+            }
+        }
+        CsrGraph::from_edges(nodes.len(), &edges)
+    }
+
+    /// Sparse × dense product `A · X` where `A` is this graph's binary
+    /// adjacency.
+    ///
+    /// Avoids materialising the dense adjacency — this is the sparse MVM
+    /// kernel the paper's aggregation phase accelerates, usable for
+    /// graphs far too large for `to_dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fare_graph::CsrGraph;
+    /// use fare_tensor::Matrix;
+    /// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+    /// let x = Matrix::identity(3);
+    /// assert_eq!(g.spmm(&x), g.to_dense());
+    /// ```
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.num_nodes(),
+            "feature rows must equal node count"
+        );
+        let mut out = Matrix::zeros(self.num_nodes(), x.cols());
+        for u in 0..self.num_nodes() {
+            let row = out.row_mut(u);
+            for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
+                for (o, &f) in row.iter_mut().zip(x.row(v)) {
+                    *o += f;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse GCN aggregation `D^{-1/2}(A+I)D^{-1/2} · X` without
+    /// materialising the dense adjacency.
+    ///
+    /// Matches [`fare_tensor::ops::gcn_normalise`] composed with a dense
+    /// matmul (see tests), at `O(|E| · d)` cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes()`.
+    pub fn gcn_aggregate(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.num_nodes(), "feature rows must equal node count");
+        let n = self.num_nodes();
+        let inv_sqrt: Vec<f32> = (0..n)
+            .map(|u| 1.0 / ((self.degree(u) + 1) as f32).sqrt())
+            .collect();
+        let mut out = Matrix::zeros(n, x.cols());
+        for u in 0..n {
+            // Self loop.
+            let self_w = inv_sqrt[u] * inv_sqrt[u];
+            for (o, &f) in out.row_mut(u).iter_mut().zip(x.row(u)) {
+                *o += self_w * f;
+            }
+            for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
+                let w = inv_sqrt[u] * inv_sqrt[v];
+                let row = out.row_mut(u);
+                for (o, &f) in row.iter_mut().zip(x.row(v)) {
+                    *o += w * f;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse mean aggregation `D^{-1}A · X` (GraphSAGE's neighbour
+    /// average). Isolated nodes aggregate to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes()`.
+    pub fn mean_aggregate(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.num_nodes(), "feature rows must equal node count");
+        let mut out = self.spmm(x);
+        for u in 0..self.num_nodes() {
+            let d = self.degree(u);
+            if d > 0 {
+                for o in out.row_mut(u) {
+                    *o /= d as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Connected components; returns per-node component id and the count.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_edges_dedupes_and_drops_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = CsrGraph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &edges);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_dense_symmetric() {
+        let g = path(3);
+        let d = g.to_dense();
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 0)], 1.0);
+        assert_eq!(d[(0, 2)], 0.0);
+        assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = path(5);
+        let sub = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Only edge (1,2) survives, relabelled to (0,1).
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        path(3).induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = g.connected_components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let x = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let sparse = g.spmm(&x);
+        let dense = g.to_dense().matmul(&x);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gcn_aggregate_matches_dense_normalisation() {
+        use fare_tensor::ops;
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let x = Matrix::from_fn(5, 2, |r, c| ((r + c) as f32 * 0.7).sin());
+        let sparse = g.gcn_aggregate(&x);
+        let dense = ops::gcn_normalise(&g.to_dense()).matmul(&x);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_aggregate_matches_dense_row_normalisation() {
+        use fare_tensor::ops;
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (3, 4)]);
+        let x = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let sparse = g.mean_aggregate(&x);
+        let dense = ops::row_normalise(&g.to_dense()).matmul(&x);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn aggregates_handle_isolated_nodes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let x = Matrix::filled(3, 2, 1.0);
+        let mean = g.mean_aggregate(&x);
+        assert_eq!(mean.row(2), &[0.0, 0.0]);
+        // GCN aggregation keeps the self loop for isolated nodes.
+        let gcn = g.gcn_aggregate(&x);
+        assert!((gcn[(2, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows must equal node count")]
+    fn spmm_rejects_wrong_rows() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        g.spmm(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+}

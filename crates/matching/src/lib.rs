@@ -1,0 +1,245 @@
+//! Bipartite matching and assignment solvers.
+//!
+//! FARe's Algorithm 1 solves two nested matching problems:
+//!
+//! 1. **Row permutation** (`G₁`): match the `n` rows of an adjacency block
+//!    to the `n` rows of a crossbar so the number of value/fault mismatches
+//!    is minimised.
+//! 2. **Block placement** (`G₂`): assign the `b` blocks of a batch to the
+//!    `m ≥ b` available crossbars at minimum total cost.
+//!
+//! Both are linear assignment problems. This crate provides:
+//!
+//! - [`hungarian`] — exact O(n³) Kuhn–Munkres with potentials,
+//! - [`bsuitor`] — the suitor-based ½-approximation for weighted
+//!   b-matching from Khan et al. (the algorithm the paper cites as its
+//!   implementation choice),
+//! - [`auction`] — Bertsekas' ε-scaled auction algorithm (exact on the
+//!   integer mismatch costs Algorithm 1 produces),
+//! - [`greedy`] — a cheap baseline used in ablations,
+//! - [`Matcher`] — a selector enum so callers can swap solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use fare_matching::{hungarian, CostMatrix};
+//!
+//! let cost = CostMatrix::from_rows(&[
+//!     &[4.0, 1.0, 3.0],
+//!     &[2.0, 0.0, 5.0],
+//!     &[3.0, 2.0, 2.0],
+//! ]);
+//! let sol = hungarian(&cost);
+//! assert_eq!(sol.total_cost, 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod auction;
+pub mod bsuitor;
+mod cost;
+mod hungarian;
+
+pub use auction::auction;
+pub use bsuitor::{bsuitor_assignment, bsuitor_matching, Edge};
+pub use cost::CostMatrix;
+pub use hungarian::hungarian;
+
+use serde::{Deserialize, Serialize};
+
+/// Solution of a (possibly rectangular) assignment problem.
+///
+/// `assignment[r]` is the column assigned to row `r`, or `None` when the
+/// solver left the row unassigned (only possible for approximate solvers
+/// on degenerate inputs; exact solvers always assign every row when
+/// `rows <= cols`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Per-row assigned column.
+    pub assignment: Vec<Option<usize>>,
+    /// Sum of the costs of the chosen entries.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Number of rows that received a column.
+    pub fn matched_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Returns the assignment as a permutation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is unassigned.
+    pub fn to_permutation(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .map(|a| a.expect("unassigned row in to_permutation"))
+            .collect()
+    }
+
+    /// `true` if no two rows share a column.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.assignment
+            .iter()
+            .flatten()
+            .all(|&c| seen.insert(c))
+    }
+}
+
+/// Selector for the assignment solver used inside Algorithm 1.
+///
+/// The paper uses b-Suitor (a ½-approximation) for speed; the exact
+/// Hungarian solver is provided for quality ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Matcher {
+    /// Exact O(n³) Kuhn–Munkres.
+    Hungarian,
+    /// Suitor-based ½-approximation (paper's choice).
+    #[default]
+    BSuitor,
+    /// Bertsekas auction with ε-scaling (exact on integer costs).
+    Auction,
+    /// Row-by-row greedy (ablation baseline).
+    Greedy,
+}
+
+impl Matcher {
+    /// Solves the min-cost assignment of `cost` with this solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` has more rows than columns.
+    pub fn solve(&self, cost: &CostMatrix) -> Assignment {
+        match self {
+            Matcher::Hungarian => hungarian(cost),
+            Matcher::BSuitor => bsuitor_assignment(cost),
+            Matcher::Auction => auction(cost),
+            Matcher::Greedy => greedy(cost),
+        }
+    }
+}
+
+impl std::fmt::Display for Matcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Matcher::Hungarian => write!(f, "hungarian"),
+            Matcher::BSuitor => write!(f, "b-suitor"),
+            Matcher::Auction => write!(f, "auction"),
+            Matcher::Greedy => write!(f, "greedy"),
+        }
+    }
+}
+
+/// Greedy min-cost assignment: rows in order pick their cheapest free
+/// column. Fast, no quality guarantee; used only as an ablation baseline.
+///
+/// # Panics
+///
+/// Panics if `cost.rows() > cost.cols()`.
+pub fn greedy(cost: &CostMatrix) -> Assignment {
+    assert!(
+        cost.rows() <= cost.cols(),
+        "greedy requires rows <= cols, got {}x{}",
+        cost.rows(),
+        cost.cols()
+    );
+    let mut used = vec![false; cost.cols()];
+    let mut assignment = vec![None; cost.rows()];
+    let mut total = 0.0;
+    for (r, slot) in assignment.iter_mut().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, &taken) in used.iter().enumerate() {
+            if taken {
+                continue;
+            }
+            let v = cost.get(r, c);
+            if best.is_none_or(|(_, bv)| v < bv) {
+                best = Some((c, v));
+            }
+        }
+        if let Some((c, v)) = best {
+            used[c] = true;
+            *slot = Some(c);
+            total += v;
+        }
+    }
+    Assignment {
+        assignment,
+        total_cost: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> CostMatrix {
+        CostMatrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]])
+    }
+
+    #[test]
+    fn greedy_assigns_all_rows() {
+        let sol = greedy(&square());
+        assert_eq!(sol.matched_count(), 3);
+        assert!(sol.is_valid());
+    }
+
+    #[test]
+    fn greedy_cost_at_least_optimal() {
+        let sol_g = greedy(&square());
+        let sol_h = hungarian(&square());
+        assert!(sol_g.total_cost >= sol_h.total_cost);
+    }
+
+    #[test]
+    fn matcher_solves_with_all_variants() {
+        let cost = square();
+        for m in [
+            Matcher::Hungarian,
+            Matcher::BSuitor,
+            Matcher::Auction,
+            Matcher::Greedy,
+        ] {
+            let sol = m.solve(&cost);
+            assert!(sol.is_valid(), "{m} produced invalid assignment");
+            assert_eq!(sol.matched_count(), 3, "{m} left rows unmatched");
+        }
+    }
+
+    #[test]
+    fn matcher_display() {
+        assert_eq!(Matcher::Hungarian.to_string(), "hungarian");
+        assert_eq!(Matcher::BSuitor.to_string(), "b-suitor");
+        assert_eq!(Matcher::Auction.to_string(), "auction");
+        assert_eq!(Matcher::Greedy.to_string(), "greedy");
+    }
+
+    #[test]
+    fn assignment_permutation_round_trip() {
+        let sol = hungarian(&square());
+        let perm = sol.to_permutation();
+        assert_eq!(perm.len(), 3);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rectangular_greedy() {
+        let cost = CostMatrix::from_rows(&[&[5.0, 1.0, 9.0, 2.0], &[1.0, 8.0, 3.0, 4.0]]);
+        let sol = greedy(&cost);
+        assert_eq!(sol.matched_count(), 2);
+        assert!(sol.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn greedy_rejects_tall_matrix() {
+        let cost = CostMatrix::from_rows(&[&[1.0], &[2.0]]);
+        greedy(&cost);
+    }
+}

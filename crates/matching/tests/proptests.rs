@@ -1,0 +1,88 @@
+//! Property-based tests for the matching crate.
+
+use fare_matching::{bsuitor_assignment, greedy, hungarian, CostMatrix, Matcher};
+use proptest::prelude::*;
+
+fn cost_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CostMatrix> {
+    (1..=max_rows, 1..=max_cols)
+        .prop_filter("rows <= cols", |(r, c)| r <= c)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(0.0f64..100.0, r * c)
+                .prop_map(move |data| CostMatrix::from_vec(r, c, data))
+        })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_produces_valid_full_assignment(cost in cost_matrix(7, 9)) {
+        let sol = hungarian(&cost);
+        prop_assert!(sol.is_valid());
+        prop_assert_eq!(sol.matched_count(), cost.rows());
+        // Total cost matches the sum of the chosen entries.
+        let recomputed: f64 = sol
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(r, c)| cost.get(r, c.unwrap()))
+            .sum();
+        prop_assert!((recomputed - sol.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hungarian_no_worse_than_any_heuristic(cost in cost_matrix(6, 8)) {
+        let exact = hungarian(&cost).total_cost;
+        prop_assert!(greedy(&cost).total_cost >= exact - 1e-9);
+        prop_assert!(bsuitor_assignment(&cost).total_cost >= exact - 1e-9);
+        prop_assert!(fare_matching::auction(&cost).total_cost >= exact - 1e-9);
+    }
+
+    #[test]
+    fn auction_exact_on_integer_costs(
+        dims in (1usize..6, 1usize..8).prop_filter("r<=c", |(r, c)| r <= c),
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let (r, c) = dims;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cost = CostMatrix::from_fn(r, c, |_, _| rng.gen_range(0..20) as f64);
+        let a = fare_matching::auction(&cost);
+        let h = hungarian(&cost);
+        prop_assert!(a.is_valid());
+        prop_assert_eq!(a.total_cost, h.total_cost);
+    }
+
+    #[test]
+    fn hungarian_invariant_under_row_potential_shift(cost in cost_matrix(5, 5)) {
+        // Adding a constant to one row changes total cost by that constant
+        // but not the optimal assignment structure's validity.
+        let shifted = CostMatrix::from_fn(cost.rows(), cost.cols(), |r, c| {
+            cost.get(r, c) + if r == 0 { 17.0 } else { 0.0 }
+        });
+        let a = hungarian(&cost);
+        let b = hungarian(&shifted);
+        prop_assert!((b.total_cost - a.total_cost - 17.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bsuitor_within_half_of_optimal_weight(cost in cost_matrix(6, 6)) {
+        let n = cost.rows() as f64;
+        let max_cost = cost.max_cost();
+        let exact_w = n * max_cost - hungarian(&cost).total_cost;
+        let approx_w = n * max_cost - bsuitor_assignment(&cost).total_cost;
+        prop_assert!(approx_w >= 0.5 * exact_w - 1e-6);
+    }
+
+    #[test]
+    fn all_matchers_agree_on_validity(cost in cost_matrix(5, 7)) {
+        for m in [
+            Matcher::Hungarian,
+            Matcher::BSuitor,
+            Matcher::Auction,
+            Matcher::Greedy,
+        ] {
+            let sol = m.solve(&cost);
+            prop_assert!(sol.is_valid());
+            prop_assert_eq!(sol.matched_count(), cost.rows());
+        }
+    }
+}

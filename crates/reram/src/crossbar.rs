@@ -1,0 +1,328 @@
+use fare_tensor::fixed::StuckPolarity;
+use fare_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One square ReRAM crossbar: an `n × n` array of 2-bit cells, some of
+/// which may be stuck.
+///
+/// The crossbar tracks only fault state — stored values are supplied at
+/// read time (`read_binary`), matching how the simulator replays the same
+/// physical fault pattern against whatever matrix is currently
+/// programmed.
+///
+/// # Example
+///
+/// ```
+/// use fare_reram::{Crossbar, StuckPolarity};
+/// use fare_tensor::Matrix;
+///
+/// let mut xbar = Crossbar::new(4);
+/// xbar.inject_fault(0, 1, StuckPolarity::StuckAtOne);
+/// let stored = Matrix::zeros(4, 4);
+/// let read = xbar.read_binary(&stored, None);
+/// assert_eq!(read[(0, 1)], 1.0); // SA1 fabricated an edge
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    n: usize,
+    /// Sparse per-row fault lists, each sorted by column.
+    rows: Vec<Vec<(usize, StuckPolarity)>>,
+}
+
+impl Crossbar {
+    /// Creates a fault-free `n × n` crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "crossbar size must be positive");
+        Self {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Crossbar dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Marks cell `(r, c)` stuck. A second injection at the same cell
+    /// overwrites the polarity (the physically later failure wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn inject_fault(&mut self, r: usize, c: usize, polarity: StuckPolarity) {
+        assert!(r < self.n && c < self.n, "fault ({r},{c}) out of range");
+        let row = &mut self.rows[r];
+        match row.binary_search_by_key(&c, |&(col, _)| col) {
+            Ok(i) => row[i].1 = polarity,
+            Err(i) => row.insert(i, (c, polarity)),
+        }
+    }
+
+    /// Fault state of cell `(r, c)`, if any.
+    pub fn fault_at(&self, r: usize, c: usize) -> Option<StuckPolarity> {
+        self.rows
+            .get(r)?
+            .binary_search_by_key(&c, |&(col, _)| col)
+            .ok()
+            .map(|i| self.rows[r][i].1)
+    }
+
+    /// Sparse fault list of physical row `r`, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_faults(&self, r: usize) -> &[(usize, StuckPolarity)] {
+        &self.rows[r]
+    }
+
+    /// Total number of stuck cells.
+    pub fn fault_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Number of stuck-at-0 cells.
+    pub fn sa0_count(&self) -> usize {
+        self.count(StuckPolarity::StuckAtZero)
+    }
+
+    /// Number of stuck-at-1 cells.
+    pub fn sa1_count(&self) -> usize {
+        self.count(StuckPolarity::StuckAtOne)
+    }
+
+    fn count(&self, pol: StuckPolarity) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&(_, p)| p == pol)
+            .count()
+    }
+
+    /// Removes all faults (fresh die).
+    pub fn clear_faults(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+
+    /// Reads back a binary matrix stored on this crossbar.
+    ///
+    /// `stored` holds logical 0/1 values (anything > 0.5 is treated as a
+    /// programmed "1"). `row_perm`, when given, maps **logical row →
+    /// physical row**: logical row `i` of `stored` was written to physical
+    /// row `row_perm[i]`, so it picks up that physical row's faults. SA0
+    /// cells read as 0 (edge deletion), SA1 cells read as 1 (edge
+    /// addition) — Fig. 1(b)'s corruption model.
+    ///
+    /// `stored` may be smaller than the crossbar (a partial block); only
+    /// the stored region is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored` exceeds the crossbar dimensions, or if
+    /// `row_perm` has the wrong length / out-of-range entries.
+    pub fn read_binary(&self, stored: &Matrix, row_perm: Option<&[usize]>) -> Matrix {
+        assert!(
+            stored.rows() <= self.n && stored.cols() <= self.n,
+            "stored block {}x{} exceeds crossbar {}",
+            stored.rows(),
+            stored.cols(),
+            self.n
+        );
+        if let Some(perm) = row_perm {
+            assert_eq!(perm.len(), stored.rows(), "row permutation length mismatch");
+            assert!(perm.iter().all(|&p| p < self.n), "row permutation out of range");
+        }
+        let mut out = stored.clone();
+        for logical in 0..stored.rows() {
+            let physical = row_perm.map_or(logical, |p| p[logical]);
+            for &(c, pol) in &self.rows[physical] {
+                if c >= stored.cols() {
+                    continue;
+                }
+                out[(logical, c)] = match pol {
+                    StuckPolarity::StuckAtZero => 0.0,
+                    StuckPolarity::StuckAtOne => 1.0,
+                };
+            }
+        }
+        out
+    }
+
+    /// Number of mismatches caused by storing binary `stored` with
+    /// logical→physical map `row_perm` (identity when `None`).
+    ///
+    /// This is the paper's cost function: an SA0 under a stored 1 or an
+    /// SA1 under a stored 0 each count one mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Crossbar::read_binary`].
+    pub fn mismatch_count(&self, stored: &Matrix, row_perm: Option<&[usize]>) -> usize {
+        let read = self.read_binary(stored, row_perm);
+        stored
+            .iter()
+            .zip(read.iter())
+            .filter(|(a, b)| (**a > 0.5) != (**b > 0.5))
+            .count()
+    }
+
+    /// Mismatches caused by mapping one logical binary row `row` onto
+    /// physical row `physical`.
+    ///
+    /// Cheap (proportional to the faults in that physical row); used to
+    /// build the row-permutation cost matrices of Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical` is out of range or `row` is wider than the
+    /// crossbar.
+    pub fn row_mismatch(&self, row: &[f32], physical: usize) -> usize {
+        assert!(row.len() <= self.n, "row wider than crossbar");
+        self.rows[physical]
+            .iter()
+            .filter(|&&(c, pol)| {
+                c < row.len()
+                    && match pol {
+                        StuckPolarity::StuckAtZero => row[c] > 0.5,
+                        StuckPolarity::StuckAtOne => row[c] <= 0.5,
+                    }
+            })
+            .count()
+    }
+
+    /// SA1 mismatches only for mapping `row` onto `physical` (SA1 faults
+    /// under stored zeros). Algorithm 1 uses this for its crossbar-pruning
+    /// heuristic because SA1 faults are the more damaging polarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical` is out of range or `row` is wider than the
+    /// crossbar.
+    pub fn row_sa1_mismatch(&self, row: &[f32], physical: usize) -> usize {
+        assert!(row.len() <= self.n, "row wider than crossbar");
+        self.rows[physical]
+            .iter()
+            .filter(|&&(c, pol)| {
+                c < row.len() && pol == StuckPolarity::StuckAtOne && row[c] <= 0.5
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_crossbar_fault_free() {
+        let x = Crossbar::new(8);
+        assert_eq!(x.fault_count(), 0);
+        assert_eq!(x.fault_at(0, 0), None);
+    }
+
+    #[test]
+    fn inject_and_query() {
+        let mut x = Crossbar::new(4);
+        x.inject_fault(1, 2, StuckPolarity::StuckAtOne);
+        x.inject_fault(1, 0, StuckPolarity::StuckAtZero);
+        assert_eq!(x.fault_at(1, 2), Some(StuckPolarity::StuckAtOne));
+        assert_eq!(x.fault_at(1, 0), Some(StuckPolarity::StuckAtZero));
+        assert_eq!(x.fault_count(), 2);
+        assert_eq!(x.sa0_count(), 1);
+        assert_eq!(x.sa1_count(), 1);
+        // Sorted by column.
+        assert_eq!(x.row_faults(1)[0].0, 0);
+        assert_eq!(x.row_faults(1)[1].0, 2);
+    }
+
+    #[test]
+    fn reinjection_overwrites_polarity() {
+        let mut x = Crossbar::new(4);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtZero);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        assert_eq!(x.fault_count(), 1);
+        assert_eq!(x.fault_at(0, 0), Some(StuckPolarity::StuckAtOne));
+    }
+
+    #[test]
+    fn read_binary_applies_both_polarities() {
+        let mut x = Crossbar::new(3);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtZero); // under a 1
+        x.inject_fault(2, 2, StuckPolarity::StuckAtOne); // under a 0
+        let stored = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let read = x.read_binary(&stored, None);
+        assert_eq!(read[(0, 0)], 0.0); // edge deleted
+        assert_eq!(read[(2, 2)], 1.0); // edge fabricated
+        assert_eq!(read[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn row_permutation_dodges_fault() {
+        let mut x = Crossbar::new(2);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtZero);
+        let stored = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        // Identity placement hits the fault.
+        assert_eq!(x.mismatch_count(&stored, None), 1);
+        // Swap rows: the 1 lands on physical row 1, no fault.
+        assert_eq!(x.mismatch_count(&stored, Some(&[1, 0])), 0);
+    }
+
+    #[test]
+    fn matching_fault_costs_nothing() {
+        let mut x = Crossbar::new(2);
+        // SA1 under a stored 1: harmless.
+        x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        let stored = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        assert_eq!(x.mismatch_count(&stored, None), 0);
+    }
+
+    #[test]
+    fn row_mismatch_agrees_with_full_read() {
+        let mut x = Crossbar::new(4);
+        x.inject_fault(2, 1, StuckPolarity::StuckAtOne);
+        x.inject_fault(2, 3, StuckPolarity::StuckAtZero);
+        let row = [0.0f32, 0.0, 0.0, 1.0];
+        // SA1 under 0 at col1 (mismatch) + SA0 under 1 at col3 (mismatch).
+        assert_eq!(x.row_mismatch(&row, 2), 2);
+        assert_eq!(x.row_sa1_mismatch(&row, 2), 1);
+        let row2 = [0.0f32, 1.0, 0.0, 0.0];
+        // SA1 under 1 is fine; SA0 under 0 is fine.
+        assert_eq!(x.row_mismatch(&row2, 2), 0);
+    }
+
+    #[test]
+    fn partial_block_only_sees_covered_faults() {
+        let mut x = Crossbar::new(8);
+        x.inject_fault(0, 7, StuckPolarity::StuckAtOne); // outside a 4-wide block
+        let stored = Matrix::zeros(4, 4);
+        assert_eq!(x.mismatch_count(&stored, None), 0);
+    }
+
+    #[test]
+    fn clear_faults_resets() {
+        let mut x = Crossbar::new(4);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        x.clear_faults();
+        assert_eq!(x.fault_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_out_of_range_panics() {
+        Crossbar::new(2).inject_fault(2, 0, StuckPolarity::StuckAtOne);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds crossbar")]
+    fn oversized_block_panics() {
+        let x = Crossbar::new(2);
+        x.read_binary(&Matrix::zeros(3, 3), None);
+    }
+}

@@ -1,0 +1,408 @@
+//! The weight storage path: 16-bit fixed-point weights distributed over
+//! eight 2-bit cells, corrupted by stuck-at faults.
+//!
+//! A weight matrix of shape `rows × cols` occupies a grid of crossbars:
+//! each crossbar row holds `n / 8` weights (Section III-A's distributed
+//! mapping), so the grid is `ceil(rows / n) × ceil(cols / (n/8))`
+//! crossbars. A stuck cell corrupts exactly one 2-bit slice of one
+//! weight; slices near the MSB cause "weight explosion".
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fare_tensor::fixed::{StuckPolarity, CELLS_PER_WORD};
+use fare_tensor::{CellWord, FixedFormat, Matrix};
+
+use crate::{CrossbarArray, FaultSpec};
+
+/// The set of crossbars backing one weight matrix, with its quantisation
+/// format.
+///
+/// # Example
+///
+/// ```
+/// use fare_reram::weights::WeightFabric;
+/// use fare_reram::FaultSpec;
+/// use fare_tensor::{FixedFormat, Matrix};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut fabric = WeightFabric::for_shape(16, 8, 32, FixedFormat::default());
+/// fabric.inject(&FaultSpec::density(0.05), &mut rng);
+/// let w = Matrix::filled(16, 8, 0.25);
+/// let faulty = fabric.corrupt(&w);
+/// assert_eq!(faulty.shape(), (16, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightFabric {
+    fmt: FixedFormat,
+    rows: usize,
+    cols: usize,
+    n: usize,
+    weights_per_row: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    array: CrossbarArray,
+}
+
+impl WeightFabric {
+    /// Allocates crossbars for a `rows × cols` weight matrix on `n × n`
+    /// crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`/`cols` are zero or `n` is not a multiple of the
+    /// 8 cells each weight occupies.
+    pub fn for_shape(rows: usize, cols: usize, n: usize, fmt: FixedFormat) -> Self {
+        assert!(rows > 0 && cols > 0, "weight matrix must be non-empty");
+        assert_eq!(
+            n % CELLS_PER_WORD,
+            0,
+            "crossbar size {n} must be a multiple of {CELLS_PER_WORD} cells/weight"
+        );
+        let weights_per_row = n / CELLS_PER_WORD;
+        let grid_rows = rows.div_ceil(n);
+        let grid_cols = cols.div_ceil(weights_per_row);
+        let array = CrossbarArray::new(grid_rows * grid_cols, n);
+        Self {
+            fmt,
+            rows,
+            cols,
+            n,
+            weights_per_row,
+            grid_rows,
+            grid_cols,
+            array,
+        }
+    }
+
+    /// The quantisation format.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// Shape of the weight matrix this fabric stores.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of crossbars allocated.
+    pub fn num_crossbars(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Borrows the underlying crossbar array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Mutably borrows the underlying crossbar array (e.g. for targeted
+    /// fault placement in tests).
+    pub fn array_mut(&mut self) -> &mut CrossbarArray {
+        &mut self.array
+    }
+
+    /// Injects stuck-at faults into the backing crossbars (additive).
+    pub fn inject(&mut self, spec: &FaultSpec, rng: &mut impl Rng) {
+        self.array.inject(spec, rng);
+    }
+
+    /// Reads back `weights` through the faulty fabric with the identity
+    /// row placement.
+    ///
+    /// Each weight is quantised to the fabric's fixed-point format, its
+    /// stuck cells are forced, and the result is decoded — so even a
+    /// fault-free fabric returns *quantised* weights, exactly like real
+    /// hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the fabric's shape.
+    pub fn corrupt(&self, weights: &Matrix) -> Matrix {
+        self.corrupt_permuted(weights, None)
+    }
+
+    /// Reads back `weights` with an optional logical→physical global row
+    /// permutation (`placement[r]` = physical row of logical row `r`).
+    ///
+    /// This is the hook the neuron-reordering baseline uses to steer
+    /// weight rows away from (or onto benign) faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the fabric's shape, or the
+    /// permutation has the wrong length / out-of-range entries.
+    pub fn corrupt_permuted(&self, weights: &Matrix, placement: Option<&[usize]>) -> Matrix {
+        assert_eq!(
+            weights.shape(),
+            (self.rows, self.cols),
+            "weight shape mismatch: fabric {}x{}, got {:?}",
+            self.rows,
+            self.cols,
+            weights.shape()
+        );
+        if let Some(p) = placement {
+            assert_eq!(p.len(), self.rows, "placement length mismatch");
+            assert!(
+                p.iter().all(|&r| r < self.grid_rows * self.n),
+                "placement row out of range"
+            );
+        }
+
+        // Quantise everything first (the hardware always stores
+        // fixed-point), then apply cell faults sparsely.
+        let mut out = weights.map(|v| self.fmt.quantise(v));
+
+        // physical global row -> logical row
+        let inverse: Option<HashMap<usize, usize>> = placement.map(|p| {
+            p.iter().enumerate().map(|(logical, &phys)| (phys, logical)).collect()
+        });
+
+        // Group faults per affected weight so multiple stuck cells in the
+        // same word compose on one CellWord.
+        let mut per_weight: HashMap<(usize, usize), Vec<(usize, StuckPolarity)>> = HashMap::new();
+        for gi in 0..self.grid_rows {
+            for gj in 0..self.grid_cols {
+                let xbar = self.array.crossbar(gi * self.grid_cols + gj);
+                for pr in 0..self.n {
+                    let phys_global = gi * self.n + pr;
+                    let logical = match &inverse {
+                        Some(inv) => match inv.get(&phys_global) {
+                            Some(&l) => l,
+                            None => continue, // physical row unused
+                        },
+                        None => phys_global,
+                    };
+                    if logical >= self.rows {
+                        continue;
+                    }
+                    for &(pc, pol) in xbar.row_faults(pr) {
+                        let col = gj * self.weights_per_row + pc / CELLS_PER_WORD;
+                        if col >= self.cols {
+                            continue;
+                        }
+                        let cell = pc % CELLS_PER_WORD;
+                        per_weight.entry((logical, col)).or_default().push((cell, pol));
+                    }
+                }
+            }
+        }
+
+        for ((r, c), cell_faults) in per_weight {
+            let mut word = CellWord::from_fixed(self.fmt.encode(weights[(r, c)]));
+            for (cell, pol) in cell_faults {
+                match pol {
+                    StuckPolarity::StuckAtZero => word.stick_at_zero(cell),
+                    StuckPolarity::StuckAtOne => word.stick_at_one(cell),
+                }
+            }
+            out[(r, c)] = self.fmt.decode(word.to_fixed());
+        }
+        out
+    }
+
+    /// Expected corruption cost of a candidate row placement: the sum of
+    /// |faulty − clean| over all weights, given the current weights.
+    ///
+    /// The neuron-reordering baseline minimises this via bipartite
+    /// matching over row placements.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`WeightFabric::corrupt_permuted`].
+    pub fn placement_cost(&self, weights: &Matrix, placement: Option<&[usize]>) -> f64 {
+        let clean = weights.map(|v| self.fmt.quantise(v));
+        let faulty = self.corrupt_permuted(weights, placement);
+        clean
+            .iter()
+            .zip(faulty.iter())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .sum()
+    }
+
+    /// Corruption cost of placing one logical weight row onto one physical
+    /// global row (used to build NR's assignment cost matrix cheaply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` or `physical` is out of range.
+    pub fn row_placement_cost(&self, weights: &Matrix, logical: usize, physical: usize) -> f64 {
+        assert!(logical < self.rows, "logical row out of range");
+        assert!(physical < self.grid_rows * self.n, "physical row out of range");
+        let gi = physical / self.n;
+        let pr = physical % self.n;
+        let mut cost = 0.0f64;
+        for gj in 0..self.grid_cols {
+            let xbar = self.array.crossbar(gi * self.grid_cols + gj);
+            // Group this physical row's faults by weight column.
+            let mut per_col: BTreeMap<usize, Vec<(usize, StuckPolarity)>> = BTreeMap::new();
+            for &(pc, pol) in xbar.row_faults(pr) {
+                let col = gj * self.weights_per_row + pc / CELLS_PER_WORD;
+                if col < self.cols {
+                    per_col.entry(col).or_default().push((pc % CELLS_PER_WORD, pol));
+                }
+            }
+            for (col, cell_faults) in per_col {
+                let clean = self.fmt.quantise(weights[(logical, col)]);
+                let mut word = CellWord::from_fixed(self.fmt.encode(weights[(logical, col)]));
+                for (cell, pol) in cell_faults {
+                    match pol {
+                        StuckPolarity::StuckAtZero => word.stick_at_zero(cell),
+                        StuckPolarity::StuckAtOne => word.stick_at_one(cell),
+                    }
+                }
+                cost += (self.fmt.decode(word.to_fixed()) - clean).abs() as f64;
+            }
+        }
+        cost
+    }
+
+    /// Total physical rows available (`grid_rows × n`).
+    pub fn physical_rows(&self) -> usize {
+        self.grid_rows * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn fabric(rows: usize, cols: usize) -> WeightFabric {
+        WeightFabric::for_shape(rows, cols, 32, FixedFormat::default())
+    }
+
+    #[test]
+    fn grid_allocation() {
+        let f = fabric(64, 10);
+        // 64 rows / 32 = 2 grid rows; 10 cols / (32/8 = 4) = 3 grid cols.
+        assert_eq!(f.num_crossbars(), 6);
+        assert_eq!(f.physical_rows(), 64);
+    }
+
+    #[test]
+    fn fault_free_fabric_only_quantises() {
+        let f = fabric(8, 4);
+        let w = Matrix::from_fn(8, 4, |r, c| (r as f32 - 4.0) * 0.1 + c as f32 * 0.01);
+        let out = f.corrupt(&w);
+        for (a, b) in w.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= f.format().resolution());
+        }
+    }
+
+    #[test]
+    fn single_msb_sa1_explodes_one_weight() {
+        let mut f = fabric(32, 4);
+        // Weight (0, 0) occupies crossbar 0, row 0, cells 0..8. Cell 0 is
+        // the MSB slice.
+        f.array_mut().crossbar_mut(0).inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        let w = Matrix::filled(32, 4, 0.1);
+        let out = f.corrupt(&w);
+        assert!(out[(0, 0)].abs() > 10.0, "no explosion: {}", out[(0, 0)]);
+        // Every other weight is untouched (mod quantisation).
+        for r in 0..32 {
+            for c in 0..4 {
+                if (r, c) != (0, 0) {
+                    assert!((out[(r, c)] - 0.1).abs() < 0.01);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lsb_fault_is_mild() {
+        let mut f = fabric(32, 4);
+        f.array_mut()
+            .crossbar_mut(0)
+            .inject_fault(0, CELLS_PER_WORD - 1, StuckPolarity::StuckAtOne);
+        let w = Matrix::filled(32, 4, 0.1);
+        let out = f.corrupt(&w);
+        assert!((out[(0, 0)] - 0.1).abs() < 0.02, "lsb fault too strong: {}", out[(0, 0)]);
+    }
+
+    #[test]
+    fn second_column_group_maps_to_second_crossbar() {
+        let mut f = fabric(32, 8); // 1 grid row x 2 grid cols
+        assert_eq!(f.num_crossbars(), 2);
+        // Crossbar 1 covers weight cols 4..8; fault at its row 3, cell 0
+        // hits weight (3, 4) MSB.
+        f.array_mut().crossbar_mut(1).inject_fault(3, 0, StuckPolarity::StuckAtOne);
+        let w = Matrix::filled(32, 8, 0.05);
+        let out = f.corrupt(&w);
+        assert!(out[(3, 4)].abs() > 10.0);
+        assert!((out[(3, 0)] - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn permutation_moves_row_away_from_fault() {
+        let mut f = fabric(32, 4);
+        f.array_mut().crossbar_mut(0).inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        let w = Matrix::filled(32, 4, 0.1);
+        // Swap logical rows 0 and 1: logical 0 -> physical 1 (clean),
+        // logical 1 -> physical 0 (faulty).
+        let mut placement: Vec<usize> = (0..32).collect();
+        placement.swap(0, 1);
+        let out = f.corrupt_permuted(&w, Some(&placement));
+        assert!((out[(0, 0)] - 0.1).abs() < 0.01);
+        assert!(out[(1, 0)].abs() > 10.0);
+    }
+
+    #[test]
+    fn placement_cost_reflects_damage() {
+        let mut f = fabric(32, 4);
+        f.array_mut().crossbar_mut(0).inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        let mut w = Matrix::filled(32, 4, 0.1);
+        let identity_cost = f.placement_cost(&w, None);
+        assert!(identity_cost > 10.0);
+        // A weight whose MSB cell is already 0b11 region (large negative)
+        // suffers less from the same SA1.
+        w[(0, 0)] = -30.0;
+        assert!(f.placement_cost(&w, None) < identity_cost);
+    }
+
+    #[test]
+    fn row_placement_cost_matches_full_cost() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = fabric(32, 8);
+        f.inject(&FaultSpec::density(0.05), &mut rng);
+        let w = Matrix::from_fn(32, 8, |r, c| ((r * 8 + c) as f32 * 0.7).sin() * 0.3);
+        // Identity placement: sum of per-row costs equals total cost.
+        let total: f64 = (0..32).map(|r| f.row_placement_cost(&w, r, r)).sum();
+        let full = f.placement_cost(&w, None);
+        assert!((total - full).abs() < 1e-4, "per-row {total} vs full {full}");
+    }
+
+    #[test]
+    fn multiple_faults_compose_on_one_word() {
+        let mut f = fabric(32, 4);
+        {
+            let x = f.array_mut().crossbar_mut(0);
+            x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+            x.inject_fault(0, 1, StuckPolarity::StuckAtZero);
+        }
+        let w = Matrix::filled(32, 4, 0.1);
+        let out = f.corrupt(&w);
+        // Composition must match applying both faults to the CellWord.
+        let fmt = f.format();
+        let mut word = CellWord::from_fixed(fmt.encode(0.1));
+        word.stick_at_one(0);
+        word.stick_at_zero(1);
+        assert_eq!(out[(0, 0)], fmt.decode(word.to_fixed()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn corrupt_rejects_wrong_shape() {
+        fabric(8, 4).corrupt(&Matrix::zeros(4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a multiple")]
+    fn rejects_indivisible_crossbar() {
+        WeightFabric::for_shape(4, 4, 12, FixedFormat::default());
+    }
+}

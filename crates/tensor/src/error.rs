@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two matrices have incompatible shapes for an
+/// operation.
+///
+/// # Example
+///
+/// ```
+/// use fare_tensor::{Matrix, ShapeError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(2, 3);
+/// let err: ShapeError = a.try_matmul(&b).unwrap_err();
+/// assert!(err.to_string().contains("2x3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    pub(crate) fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that failed (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left-hand operand as `(rows, cols)`.
+    pub fn lhs(&self) -> (usize, usize) {
+        self.lhs
+    }
+
+    /// Shape of the right-hand operand as `(rows, cols)`.
+    pub fn rhs(&self) -> (usize, usize) {
+        self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}

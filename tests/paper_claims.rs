@@ -1,0 +1,154 @@
+//! Integration tests asserting the *qualitative claims* of the paper's
+//! evaluation section on scaled-down runs. Absolute numbers differ from
+//! the paper (synthetic graphs, smaller scale); the shapes must not.
+
+use fare::core::experiments::{
+    fig3, fig5, fig7, table2_workloads, ExperimentParams, FaultPhase, Workload,
+};
+use fare::core::related::{table1, Overhead};
+use fare::core::FaultStrategy;
+use fare::graph::datasets::{DatasetKind, ModelKind};
+use fare::tensor::fixed::StuckPolarity;
+
+fn quick_params() -> ExperimentParams {
+    ExperimentParams {
+        epochs: 12,
+        seed: 42,
+        trials: 2,
+    }
+}
+
+#[test]
+fn table1_only_fare_has_every_capability_cheaply() {
+    let rows = table1();
+    let winners: Vec<_> = rows
+        .iter()
+        .filter(|t| {
+            t.training
+                && t.combination
+                && t.aggregation
+                && t.post_deployment
+                && t.overhead == Overhead::Low
+        })
+        .collect();
+    assert_eq!(winners.len(), 1);
+    assert_eq!(winners[0].reference, "FARe");
+}
+
+#[test]
+fn fig3_sa1_more_severe_than_sa0() {
+    let result = fig3(&quick_params());
+    // Weights: SA1 must be drastically worse than SA0 (weight explosion).
+    let w_sa0 = result.accuracy_of(FaultPhase::Weights, StuckPolarity::StuckAtZero);
+    let w_sa1 = result.accuracy_of(FaultPhase::Weights, StuckPolarity::StuckAtOne);
+    assert!(
+        w_sa1 + 0.10 < w_sa0,
+        "weights: SA1 ({w_sa1:.3}) should be well below SA0 ({w_sa0:.3})"
+    );
+    // Adjacency: SA1 (fabricated edges) at least as harmful as SA0
+    // (deleted edges).
+    let a_sa0 = result.accuracy_of(FaultPhase::Adjacency, StuckPolarity::StuckAtZero);
+    let a_sa1 = result.accuracy_of(FaultPhase::Adjacency, StuckPolarity::StuckAtOne);
+    assert!(
+        a_sa1 <= a_sa0 + 0.02,
+        "adjacency: SA1 ({a_sa1:.3}) should not beat SA0 ({a_sa0:.3})"
+    );
+    // And no faulty case beats the fault-free reference materially.
+    assert!(w_sa1 < result.fault_free - 0.05);
+}
+
+#[test]
+fn fig5_shape_fare_restores_accuracy_at_one_to_one() {
+    // The paper's headline scenario: 5% faults at SA0:SA1 = 1:1. One
+    // representative workload keeps the test fast.
+    let w = Workload {
+        dataset: DatasetKind::Amazon2M,
+        model: ModelKind::Sage,
+    };
+    let cmp = fig5(&quick_params(), &[w], 0.5, &[0.05]);
+    let free = cmp.fault_free_of(w);
+    let unaware = cmp.accuracy_of(w, FaultStrategy::FaultUnaware, 0.05);
+    let fare = cmp.accuracy_of(w, FaultStrategy::FaRe, 0.05);
+    let clip = cmp.accuracy_of(w, FaultStrategy::ClippingOnly, 0.05);
+
+    // Fault-unaware training collapses.
+    assert!(
+        unaware < free - 0.15,
+        "unaware ({unaware:.3}) should collapse vs fault-free ({free:.3})"
+    );
+    // FARe restores a large fraction of the lost accuracy.
+    assert!(
+        fare > unaware + 0.15,
+        "FARe ({fare:.3}) should restore accuracy over unaware ({unaware:.3})"
+    );
+    // FARe ends close to fault-free.
+    assert!(
+        fare > free - 0.10,
+        "FARe ({fare:.3}) should approach fault-free ({free:.3})"
+    );
+    // FARe >= clipping-only (the adjacency mapping must not hurt).
+    assert!(fare + 0.03 >= clip, "FARe ({fare:.3}) vs clipping ({clip:.3})");
+}
+
+#[test]
+fn fig5_mean_strategy_ordering_nine_to_one() {
+    // Across two workloads and two densities the mean ordering of the
+    // paper must hold: unaware < NR and clipping <= FARe-ish bands.
+    let ws = vec![
+        Workload {
+            dataset: DatasetKind::Ppi,
+            model: ModelKind::Gcn,
+        },
+        Workload {
+            dataset: DatasetKind::Amazon2M,
+            model: ModelKind::Sage,
+        },
+    ];
+    let cmp = fig5(&quick_params(), &ws, 0.1, &[0.03, 0.05]);
+    let unaware = cmp.mean_accuracy(FaultStrategy::FaultUnaware);
+    let fare = cmp.mean_accuracy(FaultStrategy::FaRe);
+    let clip = cmp.mean_accuracy(FaultStrategy::ClippingOnly);
+    assert!(fare > unaware, "FARe {fare:.3} vs unaware {unaware:.3}");
+    assert!(clip > unaware, "clipping {clip:.3} vs unaware {unaware:.3}");
+    assert!(fare + 0.02 >= clip, "FARe {fare:.3} vs clipping {clip:.3}");
+}
+
+#[test]
+fn fig7_claims_hold_at_paper_scale() {
+    let result = fig7();
+    for (kind, t) in &result.rows {
+        // FARe ~1% overhead.
+        assert!(
+            t.fare > 1.0 && t.fare < 1.05,
+            "{kind}: FARe normalised time {}",
+            t.fare
+        );
+        // Clipping negligible and below FARe.
+        assert!(t.clipping < t.fare);
+        // NR pays per-batch stalls.
+        assert!(t.neuron_reordering > 3.0, "{kind}: NR {}", t.neuron_reordering);
+    }
+    // "Up to 4x speedup" over NR.
+    let max_speedup = result
+        .rows
+        .iter()
+        .map(|(_, t)| t.fare_speedup_over_nr())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_speedup > 3.5 && max_speedup < 4.5,
+        "max speedup {max_speedup}"
+    );
+}
+
+#[test]
+fn table2_workload_list_matches_paper() {
+    let ws = table2_workloads();
+    assert_eq!(ws.len(), 6);
+    let has = |d: DatasetKind, m: ModelKind| ws.iter().any(|w| w.dataset == d && w.model == m);
+    assert!(has(DatasetKind::Ppi, ModelKind::Gcn));
+    assert!(has(DatasetKind::Ppi, ModelKind::Gat));
+    assert!(has(DatasetKind::Reddit, ModelKind::Gcn));
+    assert!(has(DatasetKind::Amazon2M, ModelKind::Gcn));
+    assert!(has(DatasetKind::Amazon2M, ModelKind::Sage));
+    assert!(has(DatasetKind::Ogbl, ModelKind::Sage));
+}
