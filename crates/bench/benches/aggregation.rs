@@ -1,11 +1,11 @@
 //! Benches the aggregation kernels: sparse CSR aggregation vs the dense
 //! normalise-then-matmul path, across dataset-scale graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_graph::datasets::{Dataset, DatasetKind};
 use fare_tensor::{init, ops};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_aggregation(c: &mut Criterion) {

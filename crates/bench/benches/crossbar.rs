@@ -1,12 +1,12 @@
 //! Micro-benches of the ReRAM substrate: fault injection, binary
 //! read-back, mismatch counting and the weight corruption path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_reram::weights::WeightFabric;
 use fare_reram::{Bist, CrossbarArray, FaultSpec};
 use fare_tensor::{FixedFormat, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench_injection(c: &mut Criterion) {

@@ -1,14 +1,14 @@
 //! Benches the GNN substrate: forward+backward per architecture, on
 //! ideal vs faulty readers, plus one full training epoch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_core::{FaultStrategy, FaultyWeightReader, TrainConfig, Trainer};
 use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
 use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare_reram::FaultSpec;
 use fare_tensor::{init, ops, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn batch_graph(n: usize, seed: u64) -> (Matrix, Matrix, Vec<usize>) {

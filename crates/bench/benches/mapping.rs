@@ -5,15 +5,15 @@
 //! - post-deployment: full remap vs row-permutation-only refresh (the
 //!   paper's optimisation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, Criterion};
 use fare_core::mapping::{
     map_adjacency, refresh_row_permutations, sequential_mapping, MappingConfig,
 };
 use fare_matching::Matcher;
 use fare_reram::{CrossbarArray, FaultSpec};
 use fare_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn setup(nodes: usize, n: usize, density: f64) -> (Matrix, CrossbarArray) {

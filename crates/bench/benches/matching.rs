@@ -4,10 +4,10 @@
 //! Supports the DESIGN.md design-choice discussion: the paper picks
 //! b-Suitor for speed; this quantifies the quality/runtime trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_matching::{CostMatrix, Matcher};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_cost(n: usize, seed: u64) -> CostMatrix {

@@ -1,11 +1,11 @@
 //! Benches the METIS-substitute partitioner: multilevel vs plain BFS
 //! region growing, across dataset presets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_graph::datasets::{Dataset, DatasetKind};
 use fare_graph::partition::{bfs_partition, partition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_partitioners(c: &mut Criterion) {

@@ -73,9 +73,9 @@ pub fn params_from(args: &[String]) -> ExperimentParams {
 /// # Panics
 ///
 /// Panics if the file cannot be written or the value fails to serialise.
-pub fn maybe_write_json<T: serde::Serialize>(value: &T) {
+pub fn maybe_write_json<T: fare_rt::json::ToJson>(value: &T) {
     if let Some(path) = string_flag("--json") {
-        let json = serde_json::to_string_pretty(value).expect("result serialises to JSON");
+        let json = fare_rt::json::to_string_pretty(value).expect("result serialises to JSON");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote JSON results to {path}");
     }

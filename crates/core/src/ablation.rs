@@ -16,9 +16,7 @@ use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare_matching::Matcher;
 use fare_reram::{CrossbarArray, FaultSpec};
 use fare_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use crate::experiments::ExperimentParams;
 use crate::mapping::{map_adjacency, MappingConfig};
@@ -33,7 +31,7 @@ fn mapping_instance(
     density: f64,
     seed: u64,
 ) -> (Matrix, CrossbarArray) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = fare_rt::rng(seed);
     let mut adj = Matrix::zeros(nodes, nodes);
     for i in 0..nodes {
         for j in (i + 1)..nodes {
@@ -51,7 +49,7 @@ fn mapping_instance(
 }
 
 /// One row of the matcher ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatcherAblation {
     /// Solver used for both matchings.
     pub matcher: Matcher,
@@ -60,6 +58,8 @@ pub struct MatcherAblation {
     /// Wall time of one mapping run, milliseconds.
     pub wall_time_ms: f64,
 }
+
+fare_rt::json_struct!(MatcherAblation { matcher, mapping_cost, wall_time_ms });
 
 /// Sweeps the assignment solver on a standard instance.
 pub fn matcher_ablation(seed: u64, density: f64) -> Vec<MatcherAblation> {
@@ -89,7 +89,7 @@ pub fn matcher_ablation(seed: u64, density: f64) -> Vec<MatcherAblation> {
 }
 
 /// One row of the pruning ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PruneAblation {
     /// Pruning heuristic enabled?
     pub prune: bool,
@@ -98,6 +98,8 @@ pub struct PruneAblation {
     /// SA1-only cost (fabricated edges) — what the heuristic targets.
     pub sa1_cost: usize,
 }
+
+fare_rt::json_struct!(PruneAblation { prune, mapping_cost, sa1_cost });
 
 /// Sweeps the pruning heuristic on a sparse instance (where the paper's
 /// 0.001-density blocks make it bite).
@@ -122,7 +124,7 @@ pub fn prune_ablation(seed: u64, density: f64) -> Vec<PruneAblation> {
 }
 
 /// One row of the slack ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlackAblation {
     /// Over-provisioning factor.
     pub slack: f64,
@@ -131,6 +133,8 @@ pub struct SlackAblation {
     /// Total mismatch cost of the mapping.
     pub mapping_cost: usize,
 }
+
+fare_rt::json_struct!(SlackAblation { slack, crossbars, mapping_cost });
 
 /// Sweeps the crossbar over-provisioning slack: more spare crossbars give
 /// Algorithm 1 more placement freedom at area cost.
@@ -150,13 +154,15 @@ pub fn slack_ablation(seed: u64, density: f64, slacks: &[f64]) -> Vec<SlackAblat
 }
 
 /// One row of the clip-threshold ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClipAblation {
     /// Threshold θ.
     pub threshold: f32,
     /// Final FARe test accuracy at that threshold.
     pub accuracy: f64,
 }
+
+fare_rt::json_struct!(ClipAblation { threshold, accuracy });
 
 /// Sweeps the clip threshold θ under 5 % faults (1:1 ratio, the regime
 /// where clipping matters most).
@@ -190,13 +196,15 @@ pub fn clip_threshold_ablation(params: &ExperimentParams, thresholds: &[f32]) ->
 }
 
 /// One row of the post-deployment refresh ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshAblation {
     /// Row-permutation refresh after per-epoch BIST enabled?
     pub refresh: bool,
     /// Final FARe test accuracy.
     pub accuracy: f64,
 }
+
+fare_rt::json_struct!(RefreshAblation { refresh, accuracy });
 
 /// FARe with vs without the per-epoch row-permutation refresh, under
 /// growing post-deployment faults.
@@ -231,7 +239,7 @@ pub fn refresh_ablation(params: &ExperimentParams) -> Vec<RefreshAblation> {
 }
 
 /// One row of the tile-locality ablation (extension).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityAblation {
     /// Penalty weight λ.
     pub weight: f64,
@@ -240,6 +248,8 @@ pub struct LocalityAblation {
     /// Total mismatch cost paid for the locality.
     pub mapping_cost: usize,
 }
+
+fare_rt::json_struct!(LocalityAblation { weight, tile_spread, mapping_cost });
 
 /// Sweeps the tile-locality weight λ: communication (tile spread) falls
 /// as λ rises, at the price of extra mismatches.
@@ -265,7 +275,7 @@ pub fn locality_ablation(seed: u64, density: f64, weights: &[f64]) -> Vec<Locali
 }
 
 /// One row of the model-depth ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DepthAblation {
     /// GNN layers.
     pub depth: usize,
@@ -274,6 +284,8 @@ pub struct DepthAblation {
     /// Normalised execution time (deeper models add pipeline stages).
     pub normalized_time: f64,
 }
+
+fare_rt::json_struct!(DepthAblation { depth, accuracy, normalized_time });
 
 /// Sweeps model depth under FARe with 3 % faults — deeper models add
 /// pipeline stages (timing) and more fault-exposed parameters

@@ -35,8 +35,8 @@ pub const DEFAULT_THRESHOLD: f32 = 1.0;
 /// use fare_core::clipping::threshold_for;
 /// use fare_gnn::{Gnn, GnnDims};
 /// use fare_graph::datasets::ModelKind;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 /// let model = Gnn::new(ModelKind::Gcn, GnnDims { input: 8, hidden: 8, output: 4 }, &mut rng);
 /// let theta = threshold_for(&model, 2.0);
 /// assert!(theta >= model.max_weight_magnitude());
@@ -55,8 +55,8 @@ pub fn threshold_for(model: &Gnn, margin: f32) -> f32 {
 mod tests {
     use fare_gnn::GnnDims;
     use fare_graph::datasets::ModelKind;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

@@ -9,15 +9,12 @@
 
 use fare_gnn::cluster::{kmeans, nmi, purity};
 use fare_graph::datasets::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::link_prediction::run_link_prediction;
 use crate::TrainConfig;
 
 /// Outcome of a clustering run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusteringOutcome {
     /// Cluster purity against ground-truth communities.
     pub purity: f64,
@@ -28,6 +25,8 @@ pub struct ClusteringOutcome {
     /// Number of clusters requested (= dataset communities).
     pub k: usize,
 }
+
+fare_rt::json_struct!(ClusteringOutcome { purity, nmi, link_auc, k });
 
 /// Trains an encoder self-supervised under `config`, clusters its
 /// embeddings into the dataset's community count, and scores against
@@ -43,7 +42,7 @@ pub struct ClusteringOutcome {
 pub fn run_graph_clustering(config: &TrainConfig, seed: u64, dataset: &Dataset) -> ClusteringOutcome {
     let link = run_link_prediction(config, seed, dataset);
     let k = dataset.num_classes;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0C10_57E2);
+    let mut rng = fare_rt::domain_rng(seed, "clustering");
     let km = kmeans(&link.embeddings, k, 100, &mut rng);
     ClusteringOutcome {
         purity: purity(&km.assignment, &dataset.labels),

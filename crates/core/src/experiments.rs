@@ -10,19 +10,20 @@ use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare_reram::timing::{NormalizedTimes, PipelineSpec, TimingModel};
 use fare_reram::FaultSpec;
 use fare_tensor::fixed::StuckPolarity;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use fare_rt::par::prelude::*;
 
 use crate::{run_fault_free, FaultStrategy, TrainConfig, TrainOutcome, Trainer};
 
 /// One (dataset, model) pairing from Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Workload {
     /// Dataset preset.
     pub dataset: DatasetKind,
     /// Model architecture.
     pub model: ModelKind,
 }
+
+fare_rt::json_struct!(Workload { dataset, model });
 
 impl std::fmt::Display for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -45,7 +46,7 @@ pub fn table2_workloads() -> Vec<Workload> {
 }
 
 /// Shared experiment parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentParams {
     /// Training epochs per run (paper: 100; scale down for CI).
     pub epochs: usize,
@@ -56,6 +57,8 @@ pub struct ExperimentParams {
     /// graphs here need a few trials to tame fault-placement variance.
     pub trials: usize,
 }
+
+fare_rt::json_struct!(ExperimentParams { epochs, seed, trials });
 
 impl Default for ExperimentParams {
     fn default() -> Self {
@@ -87,13 +90,15 @@ fn base_config(model: ModelKind, epochs: usize) -> TrainConfig {
 // ---------------------------------------------------------------------
 
 /// Which computation phase faults were injected into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPhase {
     /// Crossbars storing GNN weights (combination).
     Weights,
     /// Crossbars storing the adjacency matrix (aggregation).
     Adjacency,
 }
+
+fare_rt::json_enum!(FaultPhase { Weights, Adjacency });
 
 impl std::fmt::Display for FaultPhase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -105,7 +110,7 @@ impl std::fmt::Display for FaultPhase {
 }
 
 /// One bar of Fig. 3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig3Case {
     /// Phase the 5 % faults were injected into.
     pub phase: FaultPhase,
@@ -115,14 +120,18 @@ pub struct Fig3Case {
     pub accuracy: f64,
 }
 
+fare_rt::json_struct!(Fig3Case { phase, polarity, accuracy });
+
 /// Fig. 3 result: four fault bars plus the fault-free reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Result {
     /// Fault-free test accuracy.
     pub fault_free: f64,
     /// The four (phase × polarity) bars.
     pub cases: Vec<Fig3Case>,
 }
+
+fare_rt::json_struct!(Fig3Result { fault_free, cases });
 
 impl Fig3Result {
     /// Accuracy of a specific bar.
@@ -196,7 +205,7 @@ pub fn fig3(params: &ExperimentParams) -> Fig3Result {
 // ---------------------------------------------------------------------
 
 /// Fig. 4 result: per-epoch training-accuracy curves.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Result {
     /// Fault densities swept (paper: 1–5 %).
     pub densities: Vec<f64>,
@@ -207,6 +216,8 @@ pub struct Fig4Result {
     /// FARe curves, one per density (panel b).
     pub fare: Vec<Vec<f64>>,
 }
+
+fare_rt::json_struct!(Fig4Result { densities, fault_free, unaware, fare });
 
 /// Runs Fig. 4: training accuracy vs epoch for fault-unaware vs FARe at
 /// each density (GCN + Reddit, SA0:SA1 = 9:1).
@@ -265,7 +276,7 @@ pub fn fig4(params: &ExperimentParams, densities: &[f64]) -> Fig4Result {
 // ---------------------------------------------------------------------
 
 /// One bar of Fig. 5 / Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyCell {
     /// Workload (dataset + model).
     pub workload: Workload,
@@ -277,9 +288,11 @@ pub struct AccuracyCell {
     pub accuracy: f64,
 }
 
+fare_rt::json_struct!(AccuracyCell { workload, strategy, density, accuracy });
+
 /// Fig. 5 / Fig. 6 result: all bars plus per-workload fault-free
 /// references.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyComparison {
     /// SA1 fraction used (0.1 for 9:1, 0.5 for 1:1).
     pub sa1_fraction: f64,
@@ -291,6 +304,8 @@ pub struct AccuracyComparison {
     /// All (workload × strategy × density) bars.
     pub cells: Vec<AccuracyCell>,
 }
+
+fare_rt::json_struct!(AccuracyComparison { sa1_fraction, post_deployment_density, fault_free, cells });
 
 impl AccuracyComparison {
     /// Accuracy of a specific bar.
@@ -444,12 +459,14 @@ fn comparison(
 // ---------------------------------------------------------------------
 
 /// Fig. 7 result: normalised execution times per dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Result {
     /// `(dataset, times)` rows using the paper-scale pipeline geometry
     /// (N = partitions / batch from Table II, S = 5, 100 epochs).
     pub rows: Vec<(DatasetKind, NormalizedTimes)>,
 }
+
+fare_rt::json_struct!(Fig7Result { rows });
 
 /// Runs the Fig. 7 timing model with each dataset's paper-scale pipeline
 /// geometry.

@@ -8,7 +8,7 @@ use fare_reram::variation::{VariationField, VariationSpec};
 use fare_reram::weights::WeightFabric;
 use fare_reram::{CrossbarArray, FaultSpec};
 use fare_tensor::{FixedFormat, Matrix};
-use rand::Rng;
+use fare_rt::rand::Rng;
 
 use fare_matching::{CostMatrix, Matcher};
 
@@ -28,9 +28,9 @@ use crate::mapping::Mapping;
 /// use fare_gnn::{Gnn, GnnDims, WeightReader};
 /// use fare_graph::datasets::ModelKind;
 /// use fare_reram::FaultSpec;
-/// use rand::SeedableRng;
+/// use fare_rt::rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 /// let model = Gnn::new(ModelKind::Gcn, GnnDims { input: 8, hidden: 8, output: 4 }, &mut rng);
 /// let mut reader = FaultyWeightReader::for_model(&model, 16);
 /// reader.inject(&FaultSpec::density(0.05), &mut rng);
@@ -248,8 +248,8 @@ mod tests {
     use fare_gnn::GnnDims;
     use fare_graph::datasets::ModelKind;
     use fare_reram::StuckPolarity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::mapping::{map_adjacency, MappingConfig};
@@ -348,7 +348,7 @@ mod tests {
         let mut adj = Matrix::zeros(16, 16);
         for i in 0..16 {
             for j in (i + 1)..16 {
-                if rand::Rng::gen_bool(&mut rng, 0.2) {
+                if fare_rt::rand::Rng::gen_bool(&mut rng, 0.2) {
                     adj[(i, j)] = 1.0;
                     adj[(j, i)] = 1.0;
                 }

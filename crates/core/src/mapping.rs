@@ -20,11 +20,10 @@
 use fare_matching::{CostMatrix, Matcher};
 use fare_reram::{Crossbar, CrossbarArray};
 use fare_tensor::Matrix;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use fare_rt::par::prelude::*;
 
 /// Configuration of the mapping algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MappingConfig {
     /// Assignment solver for both matchings (paper default: b-Suitor).
     pub matcher: Matcher,
@@ -33,6 +32,8 @@ pub struct MappingConfig {
     /// Optional tile-locality term (extension beyond the paper).
     pub locality: Option<LocalityConfig>,
 }
+
+fare_rt::json_struct!(MappingConfig { matcher, prune, locality });
 
 impl Default for MappingConfig {
     fn default() -> Self {
@@ -50,7 +51,7 @@ impl Default for MappingConfig {
 /// assignment toward keeping each block-row inside its *target tile*
 /// (`block_row` spread evenly over the pool's tiles) at the price of a
 /// few extra mismatches — the trade-off the `ablation` binary sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityConfig {
     /// Crossbars per tile (Table III: 96).
     pub crossbars_per_tile: usize,
@@ -58,6 +59,8 @@ pub struct LocalityConfig {
     /// hop.
     pub weight: f64,
 }
+
+fare_rt::json_struct!(LocalityConfig { crossbars_per_tile, weight });
 
 impl LocalityConfig {
     /// Creates a locality term.
@@ -76,7 +79,7 @@ impl LocalityConfig {
 }
 
 /// Final placement of one adjacency block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockPlacement {
     /// Block row in the block grid.
     pub block_row: usize,
@@ -92,13 +95,17 @@ pub struct BlockPlacement {
     pub sa1_cost: usize,
 }
 
+fare_rt::json_struct!(BlockPlacement { block_row, block_col, crossbar, row_perm, mismatch_cost, sa1_cost });
+
 /// A complete fault-aware mapping `Π` of one adjacency matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {
     n: usize,
     grid: usize,
     placements: Vec<BlockPlacement>,
 }
+
+fare_rt::json_struct!(Mapping { n, grid, placements });
 
 impl Mapping {
     /// Crossbar dimension the mapping targets.
@@ -486,8 +493,8 @@ pub fn refresh_row_permutations(
 #[cfg(test)]
 mod tests {
     use fare_reram::{FaultSpec, StuckPolarity};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::{Rng, SeedableRng};
 
     use super::*;
 

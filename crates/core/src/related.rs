@@ -4,16 +4,17 @@
 //! paper's comparison table, and so tests can assert that FARe is the
 //! only row with every capability at low overhead.
 
-use serde::{Deserialize, Serialize};
 
 /// Qualitative performance overhead of a technique.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Overhead {
     /// Negligible to small overhead.
     Low,
     /// Significant overhead (stalls, redundant hardware, …).
     High,
 }
+
+fare_rt::json_enum!(Overhead { Low, High });
 
 impl std::fmt::Display for Overhead {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -25,7 +26,7 @@ impl std::fmt::Display for Overhead {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Technique {
     /// Citation tag as printed in the paper.
     pub reference: &'static str,
@@ -42,6 +43,8 @@ pub struct Technique {
     /// Mitigates post-deployment faults?
     pub post_deployment: bool,
 }
+
+fare_rt::json_struct_to!(Technique { reference, name, training, overhead, combination, aggregation, post_deployment });
 
 /// The rows of Table I, in paper order, with FARe appended.
 pub fn table1() -> Vec<Technique> {

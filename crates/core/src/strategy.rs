@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 
 /// The fault-mitigation scheme a training run uses — FARe or one of the
 /// paper's baselines (Section V-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultStrategy {
     /// No mitigation: naive sequential mapping, raw weight reads.
     FaultUnaware,
@@ -16,6 +15,8 @@ pub enum FaultStrategy {
     /// FARe: fault-aware adjacency mapping + weight clipping.
     FaRe,
 }
+
+fare_rt::json_enum!(FaultStrategy { FaultUnaware, NeuronReordering, ClippingOnly, FaRe });
 
 impl FaultStrategy {
     /// All strategies in the paper's comparison order.

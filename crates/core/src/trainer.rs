@@ -9,9 +9,6 @@ use fare_matching::Matcher;
 use fare_reram::timing::{PipelineSpec, TimingModel};
 use fare_reram::{CrossbarArray, FaultSpec};
 use fare_tensor::{ops, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::faulty::{corrupt_adjacency_mapped, FaultyWeightReader};
 use crate::mapping::{
@@ -21,7 +18,7 @@ use crate::mapping::{
 use crate::FaultStrategy;
 
 /// Configuration of one training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// GNN architecture.
     pub model: ModelKind,
@@ -71,6 +68,8 @@ pub struct TrainConfig {
     pub post_refresh: bool,
 }
 
+fare_rt::json_struct!(TrainConfig { model, hidden_dim, depth, epochs, learning_rate, weight_decay, grad_clip_norm, clip_threshold, fault_spec, weight_variation_sigma, weight_drift_sigma, post_deployment_density, strategy, crossbar_size, crossbar_slack, matcher, weight_faults, adjacency_faults, post_refresh });
+
 impl Default for TrainConfig {
     fn default() -> Self {
         Self {
@@ -98,7 +97,7 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch training statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -110,8 +109,10 @@ pub struct EpochStats {
     pub test_accuracy: f64,
 }
 
+fare_rt::json_struct!(EpochStats { epoch, loss, train_accuracy, test_accuracy });
+
 /// Result of one training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainOutcome {
     /// Per-epoch statistics.
     pub history: Vec<EpochStats>,
@@ -129,6 +130,8 @@ pub struct TrainOutcome {
     /// Number of mini-batches per epoch.
     pub num_batches: usize,
 }
+
+fare_rt::json_struct!(TrainOutcome { history, final_train_accuracy, final_test_accuracy, best_test_accuracy, normalized_time, final_mapping_cost, num_batches });
 
 /// Cross-entropy restricted to masked rows: returns the mean loss over
 /// selected rows and a gradient that is zero elsewhere.
@@ -197,7 +200,7 @@ impl Trainer {
     /// Deterministic for a given `(config, seed, dataset)`.
     pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC0FF_EE00);
+        let mut rng = fare_rt::domain_rng(self.seed, "trainer");
         let n = cfg.crossbar_size;
         let map_cfg = MappingConfig {
             matcher: cfg.matcher,
@@ -443,7 +446,7 @@ impl Trainer {
 /// as [`Trainer::run`] so accuracy differences isolate the hardware
 /// effects.
 pub fn run_fault_free(config: &TrainConfig, seed: u64, dataset: &Dataset) -> TrainOutcome {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut rng = fare_rt::domain_rng(seed, "trainer");
     let parts = partition(&dataset.graph, dataset.spec.partitions, &mut rng);
     let batches = make_batches(
         &dataset.graph,

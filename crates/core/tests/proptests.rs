@@ -8,16 +8,16 @@ use fare_core::{corrupt_adjacency_mapped, corrupt_adjacency_unaware};
 use fare_matching::Matcher;
 use fare_reram::{CrossbarArray, FaultSpec};
 use fare_tensor::Matrix;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::prop::prelude::*;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 fn instance(nodes: usize, n: usize, seed: u64, density: f64) -> (Matrix, CrossbarArray) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj = Matrix::zeros(nodes, nodes);
     for i in 0..nodes {
         for j in (i + 1)..nodes {
-            if rand::Rng::gen_bool(&mut rng, 0.15) {
+            if fare_rt::rand::Rng::gen_bool(&mut rng, 0.15) {
                 adj[(i, j)] = 1.0;
                 adj[(j, i)] = 1.0;
             }

@@ -6,7 +6,7 @@
 //! communities and [`purity`] / [`nmi`] score them against ground truth.
 
 use fare_tensor::Matrix;
-use rand::Rng;
+use fare_rt::rand::Rng;
 
 /// Result of a k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,9 +45,9 @@ fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
 /// ```
 /// use fare_gnn::cluster::kmeans;
 /// use fare_tensor::Matrix;
-/// use rand::SeedableRng;
+/// use fare_rt::rand::SeedableRng;
 /// let pts = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0], &[5.1, 5.0]]);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
 /// let km = kmeans(&pts, 2, 50, &mut rng);
 /// assert_eq!(km.assignment[0], km.assignment[1]);
 /// assert_eq!(km.assignment[2], km.assignment[3]);
@@ -207,8 +207,8 @@ pub fn nmi(assignment: &[usize], labels: &[usize]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

@@ -1,6 +1,5 @@
 use fare_tensor::{init, ops, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use crate::WeightReader;
 
@@ -14,12 +13,14 @@ const ATTENTION_SLOPE: f32 = 0.2;
 /// softmax-normalised over each node's neighbourhood and used to mix the
 /// transformed features. Hidden layers apply ELU; the output layer emits
 /// raw logits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GatLayer {
     weight: Matrix,
     attn_src: Matrix,
     attn_dst: Matrix,
 }
+
+fare_rt::json_struct!(GatLayer { weight, attn_src, attn_dst });
 
 /// Forward-pass cache for [`GatLayer::backward`].
 #[derive(Debug, Clone)]
@@ -217,8 +218,8 @@ impl GatLayer {
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index-style loops keep the FD checks readable
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::IdealReader;

@@ -1,6 +1,5 @@
 use fare_tensor::{init, ops, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use crate::WeightReader;
 
@@ -9,10 +8,12 @@ use crate::WeightReader;
 /// `Â` is the symmetric Kipf–Welling normalisation of the (possibly
 /// fault-corrupted) binary adjacency. Hidden layers use ReLU; the output
 /// layer returns raw logits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GcnLayer {
     weight: Matrix,
 }
+
+fare_rt::json_struct!(GcnLayer { weight });
 
 /// Forward-pass cache for [`GcnLayer::backward`].
 #[derive(Debug, Clone)]
@@ -102,8 +103,8 @@ impl GcnLayer {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::IdealReader;

@@ -8,18 +8,19 @@
 //! single-head math is reused unchanged.
 
 use fare_tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use super::{GatCache, GatLayer};
 use crate::WeightReader;
 
 /// A K-head graph-attention layer (concatenating combination).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiHeadGat {
     heads: Vec<GatLayer>,
     out_per_head: usize,
 }
+
+fare_rt::json_struct!(MultiHeadGat { heads, out_per_head });
 
 /// Forward-pass cache for [`MultiHeadGat::backward`].
 #[derive(Debug, Clone)]
@@ -156,8 +157,8 @@ impl<R: WeightReader> WeightReader for ShiftedReader<'_, R> {
 #[allow(clippy::needless_range_loop)] // index-style loops keep the FD checks readable
 mod tests {
     use fare_tensor::{init, ops};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::IdealReader;

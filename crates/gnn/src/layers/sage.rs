@@ -1,16 +1,17 @@
 use fare_tensor::{init, ops, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use crate::WeightReader;
 
 /// One GraphSAGE layer with mean aggregation:
 /// `act(H·W_self + D⁻¹A·H·W_neigh)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SageLayer {
     w_self: Matrix,
     w_neigh: Matrix,
 }
+
+fare_rt::json_struct!(SageLayer { w_self, w_neigh });
 
 /// Forward-pass cache for [`SageLayer::backward`].
 #[derive(Debug, Clone)]
@@ -121,8 +122,8 @@ impl SageLayer {
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index-style loops keep the FD checks readable
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::IdealReader;

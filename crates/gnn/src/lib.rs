@@ -21,9 +21,9 @@
 //! use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
 //! use fare_graph::datasets::ModelKind;
 //! use fare_tensor::{ops, Matrix};
-//! use rand::SeedableRng;
+//! use fare_rt::rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 //! let dims = GnnDims { input: 4, hidden: 8, output: 2 };
 //! let mut model = Gnn::new(ModelKind::Gcn, dims, &mut rng);
 //! let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);

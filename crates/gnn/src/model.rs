@@ -1,14 +1,13 @@
 use fare_graph::datasets::ModelKind;
 use fare_tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use crate::layers::{GatCache, GatLayer, GcnCache, GcnLayer, SageCache, SageLayer};
 use crate::optim::Optimizer;
 use crate::WeightReader;
 
 /// Layer dimensions of a two-layer GNN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GnnDims {
     /// Input feature dimension.
     pub input: usize,
@@ -18,9 +17,11 @@ pub struct GnnDims {
     pub output: usize,
 }
 
+fare_rt::json_struct!(GnnDims { input, hidden, output });
+
 /// Identity and shape of one model parameter, used to pre-allocate
 /// crossbar fabrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamShape {
     /// Layer index.
     pub layer: usize,
@@ -32,12 +33,16 @@ pub struct ParamShape {
     pub cols: usize,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+fare_rt::json_struct!(ParamShape { layer, param, rows, cols });
+
+#[derive(Debug, Clone, PartialEq)]
 enum Layer {
     Gcn(GcnLayer),
     Sage(SageLayer),
     Gat(GatLayer),
 }
+
+fare_rt::json_enum_newtype!(Layer { Gcn, Sage, Gat });
 
 impl Layer {
     fn param_shapes(&self) -> Vec<(usize, usize)> {
@@ -147,12 +152,14 @@ impl Gradients {
 /// aggregation-phase faults) and reads every parameter through a
 /// [`WeightReader`] (substitute a faulty reader to simulate
 /// combination-phase faults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gnn {
     kind: ModelKind,
     dims: GnnDims,
     layers: Vec<Layer>,
 }
+
+fare_rt::json_struct!(Gnn { kind, dims, layers });
 
 impl Gnn {
     /// Builds a two-layer model of the given kind.
@@ -179,7 +186,7 @@ impl Gnn {
             "dimensions must be positive: {dims:?}"
         );
         assert!(depth >= 2, "depth must be at least 2, got {depth}");
-        let make = |i: usize, o: usize, mut rng: &mut dyn rand::RngCore| -> Layer {
+        let make = |i: usize, o: usize, mut rng: &mut dyn fare_rt::rand::RngCore| -> Layer {
             match kind {
                 ModelKind::Gcn => Layer::Gcn(GcnLayer::new(i, o, &mut rng)),
                 ModelKind::Sage => Layer::Sage(SageLayer::new(i, o, &mut rng)),
@@ -363,8 +370,8 @@ impl Gnn {
 #[cfg(test)]
 mod tests {
     use fare_tensor::{init, ops};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::{Adam, IdealReader};

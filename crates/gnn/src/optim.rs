@@ -21,8 +21,8 @@ pub trait Optimizer {
 /// ```
 /// use fare_gnn::{Adam, Gnn, GnnDims};
 /// use fare_graph::datasets::ModelKind;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 /// let model = Gnn::new(ModelKind::Gcn, GnnDims { input: 2, hidden: 4, output: 2 }, &mut rng);
 /// let opt = Adam::new(0.01, &model);
 /// assert_eq!(opt.learning_rate(), 0.01);
@@ -162,8 +162,8 @@ impl Optimizer for Sgd {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::GnnDims;

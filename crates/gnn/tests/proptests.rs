@@ -4,9 +4,9 @@
 use fare_gnn::{Adam, Gnn, GnnDims, IdealReader, Sgd};
 use fare_graph::datasets::ModelKind;
 use fare_tensor::{init, ops, Matrix};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::prop::prelude::*;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 
 fn random_case(seed: u64, n: usize) -> (Matrix, Matrix, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);

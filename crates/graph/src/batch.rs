@@ -7,20 +7,21 @@
 //! aggregation phase.
 
 use fare_tensor::Matrix;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::seq::SliceRandom;
+use fare_rt::rand::Rng;
 
 use crate::{CsrGraph, Partitioning};
 
 /// One training mini-batch: a cluster-union induced subgraph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MiniBatch {
     /// Global ids of the nodes in this batch; position = local id.
     pub nodes: Vec<usize>,
     /// Induced subgraph over `nodes` (local ids).
     pub graph: CsrGraph,
 }
+
+fare_rt::json_struct!(MiniBatch { nodes, graph });
 
 impl MiniBatch {
     /// Number of nodes in the batch.
@@ -73,9 +74,9 @@ impl MiniBatch {
 ///
 /// ```
 /// use fare_graph::{batch::make_batches, partition::partition, CsrGraph};
-/// use rand::SeedableRng;
+/// use fare_rt::rand::SeedableRng;
 /// let g = CsrGraph::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 /// let parts = partition(&g, 4, &mut rng);
 /// let batches = make_batches(&g, &parts, 2, &mut rng);
 /// assert_eq!(batches.len(), 2);
@@ -113,8 +114,8 @@ pub fn make_batches(
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::generate;

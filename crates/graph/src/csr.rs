@@ -1,7 +1,6 @@
 use std::collections::BTreeSet;
 
 use fare_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// An undirected graph in compressed sparse row form.
 ///
@@ -19,11 +18,13 @@ use serde::{Deserialize, Serialize};
 /// assert!(g.has_edge(2, 1));
 /// assert!(!g.has_edge(0, 3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     neighbors: Vec<usize>,
 }
+
+fare_rt::json_struct!(CsrGraph { offsets, neighbors });
 
 impl CsrGraph {
     /// Builds a graph from an undirected edge list.

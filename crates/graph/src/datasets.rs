@@ -11,14 +11,13 @@
 //! faults measurably harmful, as in the paper.
 
 use fare_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 
 use crate::{generate, CsrGraph};
 
 /// Which GNN model the paper trains on a dataset (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Graph Convolutional Network.
     Gcn,
@@ -27,6 +26,8 @@ pub enum ModelKind {
     /// GraphSAGE with mean aggregation.
     Sage,
 }
+
+fare_rt::json_enum!(ModelKind { Gcn, Gat, Sage });
 
 impl std::fmt::Display for ModelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -39,7 +40,7 @@ impl std::fmt::Display for ModelKind {
 }
 
 /// The four dataset presets of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Protein–protein interaction (56,944 nodes / 818,716 edges).
     Ppi,
@@ -50,6 +51,8 @@ pub enum DatasetKind {
     /// Ogbl-citation2 (2,927,963 nodes / 30,561,187 edges).
     Ogbl,
 }
+
+fare_rt::json_enum!(DatasetKind { Ppi, Reddit, Amazon2M, Ogbl });
 
 impl DatasetKind {
     /// All four presets in Table II order.
@@ -144,7 +147,7 @@ impl std::fmt::Display for DatasetKind {
 }
 
 /// Full generation recipe for a dataset preset.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Which preset this is.
     pub kind: DatasetKind,
@@ -178,6 +181,8 @@ pub struct DatasetSpec {
     /// GNN models the paper pairs with this dataset.
     pub models: &'static [ModelKind],
 }
+
+fare_rt::json_struct_to!(DatasetSpec { kind, name, paper_nodes, paper_edges, paper_batch, paper_partitions, nodes, communities, p_in, p_out, hub_fraction, feature_dim, partitions, clusters_per_batch, models });
 
 /// A generated dataset: graph + features + labels + split.
 #[derive(Debug, Clone)]

@@ -8,7 +8,7 @@
 //! distribution of social/citation graphs such as Reddit and
 //! Ogbl-citation2.
 
-use rand::Rng;
+use fare_rt::rand::Rng;
 
 use crate::CsrGraph;
 
@@ -44,8 +44,8 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
 ///
 /// ```
 /// use fare_graph::generate::sbm;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(3);
 /// let (g, labels) = sbm(60, 3, 0.3, 0.01, &mut rng);
 /// assert_eq!(g.num_nodes(), 60);
 /// assert_eq!(labels.iter().filter(|&&c| c == 0).count(), 20);
@@ -134,8 +134,8 @@ pub fn power_law(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
 ///
 /// ```
 /// use fare_graph::generate::rmat;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
 /// let g = rmat(8, 1024, 0.57, 0.19, 0.19, &mut rng); // Graph500 params
 /// assert_eq!(g.num_nodes(), 256);
 /// assert!(g.num_edges() > 300);
@@ -227,8 +227,8 @@ pub fn sbm_power_law(
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

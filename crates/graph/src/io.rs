@@ -21,8 +21,8 @@ use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use fare_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
 
 use crate::datasets::{Dataset, DatasetKind, DatasetSpec, ModelKind};
 use crate::CsrGraph;

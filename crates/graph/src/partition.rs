@@ -18,18 +18,19 @@
 
 use std::collections::BTreeMap;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::seq::SliceRandom;
+use fare_rt::rand::Rng;
 
 use crate::CsrGraph;
 
 /// Assignment of every node to one of `num_parts` clusters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partitioning {
     assignment: Vec<usize>,
     num_parts: usize,
 }
+
+fare_rt::json_struct!(Partitioning { assignment, num_parts });
 
 impl Partitioning {
     /// Creates a partitioning from a raw assignment vector.
@@ -242,6 +243,79 @@ impl WeightedGraph {
         part
     }
 
+    /// The balance ceiling for one level: 10% headroom over the ideal
+    /// part weight, plus the heaviest single node (which can never be
+    /// split). Recomputed per level — contracted nodes at coarse levels
+    /// are heavy, so a ceiling inherited from the coarsest level would be
+    /// uselessly loose on the original graph.
+    fn level_max_weight(&self, k: usize) -> f64 {
+        let total: f64 = self.node_weight.iter().sum();
+        let max_node = self.node_weight.iter().cloned().fold(0.0, f64::max);
+        1.1 * total / k as f64 + max_node
+    }
+
+    /// Moves nodes out of oversized parts — and into empty ones — until
+    /// every part is non-empty and none exceeds `max_weight`. Each move
+    /// takes the donor node whose departure costs the least edge cut, so
+    /// balance is restored as cheaply as possible.
+    fn balance(&self, part: &mut [usize], k: usize, max_weight: f64) {
+        let n = self.num_nodes();
+        if n == 0 || k <= 1 {
+            return;
+        }
+        let mut part_weight = vec![0.0f64; k];
+        let mut part_count = vec![0usize; k];
+        for u in 0..n {
+            part_weight[part[u]] += self.node_weight[u];
+            part_count[part[u]] += 1;
+        }
+        loop {
+            // Destination: an empty part first; otherwise the lightest
+            // part, but only while some part is overweight.
+            let empty = (0..k).find(|&p| part_count[p] == 0);
+            let overweight = (0..k).any(|p| part_weight[p] > max_weight && part_count[p] > 1);
+            let dest = match empty {
+                Some(p) => p,
+                None if overweight => (0..k)
+                    .min_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).unwrap())
+                    .unwrap(),
+                None => break,
+            };
+            let donor = (0..k)
+                .filter(|&p| p != dest && part_count[p] > 1)
+                .max_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).unwrap());
+            let Some(donor) = donor else { break };
+            if part_weight[donor] <= part_weight[dest] {
+                break; // moving would only invert the imbalance
+            }
+            // Cheapest node to pull out: least internal connectivity,
+            // crediting edges it already has toward the destination.
+            let mut best: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if part[u] != donor {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for (&v, &w) in &self.adj[u] {
+                    if part[v] == donor {
+                        cost += w;
+                    } else if part[v] == dest {
+                        cost -= w;
+                    }
+                }
+                if best.is_none_or(|(_, bc)| cost < bc) {
+                    best = Some((u, cost));
+                }
+            }
+            let Some((u, _)) = best else { break };
+            part_weight[donor] -= self.node_weight[u];
+            part_count[donor] -= 1;
+            part[u] = dest;
+            part_weight[dest] += self.node_weight[u];
+            part_count[dest] += 1;
+        }
+    }
+
     /// One boundary-refinement sweep: move nodes to the neighbouring part
     /// with the highest cut gain if balance permits. Returns moves made.
     fn refine(&self, part: &mut [usize], k: usize, max_weight: f64) -> usize {
@@ -294,9 +368,9 @@ impl WeightedGraph {
 ///
 /// ```
 /// use fare_graph::{partition::partition, CsrGraph};
-/// use rand::SeedableRng;
+/// use fare_rt::rand::SeedableRng;
 /// let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
 /// let p = partition(&g, 2, &mut rng);
 /// assert_eq!(p.num_parts(), 2);
 /// assert_eq!(p.assignment().len(), 6);
@@ -311,6 +385,13 @@ pub fn partition(graph: &CsrGraph, k: usize, rng: &mut impl Rng) -> Partitioning
 
     let mut levels: Vec<(WeightedGraph, Vec<usize>)> = Vec::new();
     let mut current = WeightedGraph::from_csr(graph);
+
+    // Draw a plain region-growing candidate first (same rng state
+    // `bfs_partition` would see): the multilevel result is only kept if
+    // it cuts no more edges, so the fallback is a quality floor.
+    let finest = current.clone();
+    let mut bfs_part = finest.initial_partition(k, rng);
+
     // Coarsen until small or progress stalls.
     while current.num_nodes() > (8 * k).max(64) {
         let (coarse, map) = current.coarsen(rng);
@@ -320,34 +401,52 @@ pub fn partition(graph: &CsrGraph, k: usize, rng: &mut impl Rng) -> Partitioning
         levels.push((std::mem::replace(&mut current, coarse), map));
     }
 
-    let total_weight: f64 = current.node_weight.iter().sum();
-    let max_weight = 1.1 * total_weight / k as f64 + current
-        .node_weight
-        .iter()
-        .cloned()
-        .fold(0.0, f64::max);
+    let max_weight = current.level_max_weight(k);
     let mut part = current.initial_partition(k, rng);
+    current.balance(&mut part, k, max_weight);
     for _ in 0..4 {
         if current.refine(&mut part, k, max_weight) == 0 {
             break;
         }
     }
+    current.balance(&mut part, k, max_weight);
 
-    // Uncoarsen with refinement at every level.
+    // Uncoarsen with refinement (and re-balancing against the level's
+    // own ceiling) at every level.
     while let Some((fine, map)) = levels.pop() {
         let mut fine_part = vec![0usize; fine.num_nodes()];
         for u in 0..fine.num_nodes() {
             fine_part[u] = part[map[u]];
         }
         part = fine_part;
+        let max_weight = fine.level_max_weight(k);
+        // Alternate refinement and re-balancing: balancing can free
+        // headroom that unlocks further gain moves, and vice versa.
         for _ in 0..3 {
-            if fine.refine(&mut part, k, max_weight) == 0 {
+            let moves = fine.refine(&mut part, k, max_weight);
+            fine.balance(&mut part, k, max_weight);
+            if moves == 0 {
                 break;
             }
         }
         current = fine;
     }
     let _ = current;
+
+    let cut = |assignment: &[usize]| {
+        graph
+            .edges()
+            .filter(|&(u, v)| assignment[u] != assignment[v])
+            .count()
+    };
+    if cut(&bfs_part) < cut(&part) {
+        // Keep the floor candidate, restoring its guarantees (non-empty
+        // parts, weight ceiling) first.
+        finest.balance(&mut bfs_part, k, finest.level_max_weight(k));
+        if cut(&bfs_part) < cut(&part) {
+            return Partitioning::new(bfs_part, k);
+        }
+    }
     Partitioning::new(part, k)
 }
 
@@ -371,8 +470,8 @@ pub fn bfs_partition(graph: &CsrGraph, k: usize, rng: &mut impl Rng) -> Partitio
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::generate;

@@ -8,12 +8,11 @@
 //! originals' character.
 
 use fare_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::{CsrGraph, Partitioning};
 
 /// Degree-distribution summary of a graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegreeStats {
     /// Minimum degree.
     pub min: usize,
@@ -26,6 +25,8 @@ pub struct DegreeStats {
     /// Fraction of nodes with degree > 3× mean ("hubs").
     pub hub_fraction: f64,
 }
+
+fare_rt::json_struct!(DegreeStats { min, max, mean, variance, hub_fraction });
 
 /// Computes the degree summary of `graph`.
 ///
@@ -89,13 +90,15 @@ pub fn block_density_profile(adj: &Matrix, n: usize) -> Vec<f64> {
 /// Block-density summary of a partitioned graph: for each cluster pair,
 /// the density of the corresponding adjacency block. Diagonal entries
 /// are intra-cluster densities (which Cluster-GCN batching exploits).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterDensity {
     /// Mean intra-cluster (diagonal) density.
     pub intra: f64,
     /// Mean inter-cluster (off-diagonal) density.
     pub inter: f64,
 }
+
+fare_rt::json_struct!(ClusterDensity { intra, inter });
 
 /// Computes intra- vs inter-cluster edge densities under `parts`.
 ///
@@ -146,8 +149,8 @@ pub fn cluster_density(graph: &CsrGraph, parts: &Partitioning) -> ClusterDensity
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::generate;

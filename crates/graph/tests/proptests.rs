@@ -4,9 +4,9 @@ use fare_graph::batch::make_batches;
 use fare_graph::generate;
 use fare_graph::partition::{bfs_partition, partition};
 use fare_graph::CsrGraph;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::prop::prelude::*;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 fn random_graph(seed: u64, n: usize, p: f64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);

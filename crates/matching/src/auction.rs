@@ -97,7 +97,7 @@ pub fn auction(cost: &CostMatrix) -> Assignment {
 mod tests {
     use super::*;
     use crate::hungarian;
-    use rand::{Rng, SeedableRng};
+    use fare_rt::rand::{Rng, SeedableRng};
 
     #[test]
     fn one_by_one() {
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn matches_hungarian_on_integer_instances() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(17);
         for _ in 0..40 {
             let n = rng.gen_range(1..=8);
             let m = rng.gen_range(n..=10);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn near_optimal_on_fractional_instances() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(18);
         for _ in 0..20 {
             let n = rng.gen_range(2..=7);
             let cost = CostMatrix::from_fn(n, n, |_, _| rng.gen_range(0.0..10.0));

@@ -14,12 +14,11 @@
 
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Assignment, CostMatrix};
 
 /// An undirected weighted edge between vertices `u` and `v`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// First endpoint.
     pub u: usize,
@@ -28,6 +27,8 @@ pub struct Edge {
     /// Non-negative weight to be maximised.
     pub weight: f64,
 }
+
+fare_rt::json_struct!(Edge { u, v, weight });
 
 impl Edge {
     /// Creates a new edge.
@@ -305,8 +306,8 @@ mod tests {
 
     #[test]
     fn matching_respects_degree_bounds() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use fare_rt::rand::{Rng, SeedableRng};
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(5);
         let n = 20;
         let mut edges = Vec::new();
         for u in 0..n {
@@ -330,8 +331,8 @@ mod tests {
 
     #[test]
     fn half_approximation_guarantee_on_random_bipartite() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use fare_rt::rand::{Rng, SeedableRng};
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(11);
         for _ in 0..20 {
             let n = rng.gen_range(2..=6);
             let cost = CostMatrix::from_fn(n, n, |_, _| rng.gen_range(0.0..10.0f64).round());

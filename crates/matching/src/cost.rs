@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// A dense rectangular cost matrix for assignment problems.
 ///
@@ -14,12 +13,14 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.get(1, 2), 3.0);
 /// assert_eq!(c.shape(), (2, 3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+fare_rt::json_struct!(CostMatrix { rows, cols, data });
 
 impl CostMatrix {
     /// Creates a cost matrix from a flat row-major vector.

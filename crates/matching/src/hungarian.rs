@@ -142,8 +142,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_instances() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use fare_rt::rand::{Rng, SeedableRng};
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(99);
         for _ in 0..50 {
             let n = rng.gen_range(1..=6);
             let m = rng.gen_range(n..=7);

@@ -46,7 +46,6 @@ pub use bsuitor::{bsuitor_assignment, bsuitor_matching, Edge};
 pub use cost::CostMatrix;
 pub use hungarian::hungarian;
 
-use serde::{Deserialize, Serialize};
 
 /// Solution of a (possibly rectangular) assignment problem.
 ///
@@ -54,13 +53,15 @@ use serde::{Deserialize, Serialize};
 /// solver left the row unassigned (only possible for approximate solvers
 /// on degenerate inputs; exact solvers always assign every row when
 /// `rows <= cols`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Per-row assigned column.
     pub assignment: Vec<Option<usize>>,
     /// Sum of the costs of the chosen entries.
     pub total_cost: f64,
 }
+
+fare_rt::json_struct!(Assignment { assignment, total_cost });
 
 impl Assignment {
     /// Number of rows that received a column.
@@ -94,7 +95,7 @@ impl Assignment {
 ///
 /// The paper uses b-Suitor (a ½-approximation) for speed; the exact
 /// Hungarian solver is provided for quality ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Matcher {
     /// Exact O(n³) Kuhn–Munkres.
     Hungarian,
@@ -106,6 +107,8 @@ pub enum Matcher {
     /// Row-by-row greedy (ablation baseline).
     Greedy,
 }
+
+fare_rt::json_enum!(Matcher { Hungarian, BSuitor, Auction, Greedy });
 
 impl Matcher {
     /// Solves the min-cost assignment of `cost` with this solver.

@@ -1,13 +1,13 @@
 //! Property-based tests for the matching crate.
 
 use fare_matching::{bsuitor_assignment, greedy, hungarian, CostMatrix, Matcher};
-use proptest::prelude::*;
+use fare_rt::prop::prelude::*;
 
 fn cost_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CostMatrix> {
     (1..=max_rows, 1..=max_cols)
         .prop_filter("rows <= cols", |(r, c)| r <= c)
         .prop_flat_map(|(r, c)| {
-            proptest::collection::vec(0.0f64..100.0, r * c)
+            fare_rt::prop::collection::vec(0.0f64..100.0, r * c)
                 .prop_map(move |data| CostMatrix::from_vec(r, c, data))
         })
 }
@@ -41,9 +41,9 @@ proptest! {
         dims in (1usize..6, 1usize..8).prop_filter("r<=c", |(r, c)| r <= c),
         seed in 0u64..500,
     ) {
-        use rand::{Rng, SeedableRng};
+        use fare_rt::rand::{Rng, SeedableRng};
         let (r, c) = dims;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(seed);
         let cost = CostMatrix::from_fn(r, c, |_, _| rng.gen_range(0..20) as f64);
         let a = fare_matching::auction(&cost);
         let h = hungarian(&cost);

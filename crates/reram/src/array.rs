@@ -1,5 +1,4 @@
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use fare_tensor::fixed::StuckPolarity;
 
@@ -17,17 +16,19 @@ use crate::{poisson_sample, Crossbar, FaultSpec};
 ///
 /// ```
 /// use fare_reram::{CrossbarArray, FaultSpec};
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(9);
 /// let mut array = CrossbarArray::new(16, 32);
 /// array.inject(&FaultSpec::with_ratio(0.03, 9.0, 1.0), &mut rng);
 /// assert!((array.fault_density() - 0.03).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossbarArray {
     n: usize,
     crossbars: Vec<Crossbar>,
 }
+
+fare_rt::json_struct!(CrossbarArray { n, crossbars });
 
 impl CrossbarArray {
     /// Creates `count` fault-free `n × n` crossbars.
@@ -143,8 +144,8 @@ impl CrossbarArray {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

@@ -9,19 +9,20 @@
 //! the simulator's internals — and the per-epoch timing charge, which the
 //! [`crate::timing`] model accounts for.
 
-use serde::{Deserialize, Serialize};
 
 use fare_tensor::fixed::StuckPolarity;
 
 use crate::CrossbarArray;
 
 /// Snapshot of all detected faults, one sparse list per crossbar.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultMap {
     n: usize,
     /// `per_crossbar[j]` = sorted `(row, col, polarity)` triples.
     per_crossbar: Vec<Vec<(usize, usize, StuckPolarity)>>,
 }
+
+fare_rt::json_struct!(FaultMap { n, per_crossbar });
 
 impl FaultMap {
     /// Crossbar dimension the map was scanned from.
@@ -96,8 +97,8 @@ impl FaultMap {
 ///
 /// ```
 /// use fare_reram::{Bist, CrossbarArray, FaultSpec};
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 /// let mut array = CrossbarArray::new(4, 16);
 /// array.inject(&FaultSpec::density(0.05), &mut rng);
 /// let map = Bist::scan(&array);
@@ -135,8 +136,8 @@ impl Bist {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
     use crate::FaultSpec;

@@ -1,6 +1,5 @@
 //! Architecture constants (paper Table III).
 
-use serde::{Deserialize, Serialize};
 
 /// ReRAM-PIM architecture specification.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// returns them verbatim. Experiments in this reproduction typically use
 /// a smaller `crossbar_size` so CI-scale graphs still decompose into many
 /// blocks — the algorithmic behaviour is size-independent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipConfig {
     /// Rows (= columns) of each square crossbar.
     pub crossbar_size: usize,
@@ -31,6 +30,8 @@ pub struct ChipConfig {
     /// Fractional area overhead of the BIST circuit (~0.13 %).
     pub bist_area_overhead: f64,
 }
+
+fare_rt::json_struct!(ChipConfig { crossbar_size, crossbars_per_tile, frequency_hz, bits_per_cell, comparators, comparator_frequency_hz, muxes, tile_power_w, tile_area_mm2, bist_area_overhead });
 
 impl ChipConfig {
     /// The exact Table III configuration from the paper.

@@ -1,6 +1,5 @@
 use fare_tensor::fixed::StuckPolarity;
 use fare_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// One square ReRAM crossbar: an `n × n` array of 2-bit cells, some of
 /// which may be stuck.
@@ -22,12 +21,14 @@ use serde::{Deserialize, Serialize};
 /// let read = xbar.read_binary(&stored, None);
 /// assert_eq!(read[(0, 1)], 1.0); // SA1 fabricated an edge
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Crossbar {
     n: usize,
     /// Sparse per-row fault lists, each sorted by column.
     rows: Vec<Vec<(usize, StuckPolarity)>>,
 }
+
+fare_rt::json_struct!(Crossbar { n, rows });
 
 impl Crossbar {
     /// Creates a fault-free `n × n` crossbar.

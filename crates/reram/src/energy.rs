@@ -6,13 +6,12 @@
 //! estimates, so experiments can report the cost of over-provisioning
 //! crossbars for FARe's mapping freedom.
 
-use serde::{Deserialize, Serialize};
 
 use crate::timing::PipelineSpec;
 use crate::ChipConfig;
 
 /// Energy/area report for one accelerator provisioning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Number of tiles provisioned.
     pub tiles: usize,
@@ -25,6 +24,8 @@ pub struct EnergyReport {
     /// Training energy, joules.
     pub energy_j: f64,
 }
+
+fare_rt::json_struct!(EnergyReport { tiles, area_mm2, power_w, exec_time_s, energy_j });
 
 /// Computes the energy/area report for a training run needing
 /// `crossbars` crossbars with the pipelined schedule `pipeline`.

@@ -5,11 +5,10 @@
 //! uniformly *within* each crossbar. The SA0:SA1 ratio defaults to 9:1
 //! (SA0 nine times likelier) with 1:1 as the alternative scenario.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 /// Statistical description of a stuck-at-fault injection campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Fraction of all cells that are faulty (paper sweeps 0–5 %).
     pub density: f64,
@@ -17,6 +16,8 @@ pub struct FaultSpec {
     /// 0.5 for 1:1, 1.0 for an SA1-only study).
     pub sa1_fraction: f64,
 }
+
+fare_rt::json_struct!(FaultSpec { density, sa1_fraction });
 
 impl FaultSpec {
     /// Fault spec with the paper's default 9:1 SA0:SA1 ratio.
@@ -131,8 +132,8 @@ pub fn poisson_sample(lambda: f64, rng: &mut impl Rng) -> usize {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

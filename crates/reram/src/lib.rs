@@ -26,9 +26,9 @@
 //!
 //! ```
 //! use fare_reram::{CrossbarArray, FaultSpec};
-//! use rand::SeedableRng;
+//! use fare_rt::rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
 //! let mut array = CrossbarArray::new(8, 32);
 //! array.inject(&FaultSpec::density(0.05), &mut rng);
 //! let faults: usize = (0..8).map(|i| array.crossbar(i).fault_count()).sum();

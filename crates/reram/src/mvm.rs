@@ -132,8 +132,8 @@ pub fn mvm_latency_s(fabric: &WeightFabric, hz: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::{Rng, SeedableRng};
 
     use super::*;
     use crate::{FaultSpec, StuckPolarity};

@@ -10,10 +10,9 @@
 //! cycle counts equal the analytical model exactly, which is what makes
 //! Fig. 7's normalised ratios trustworthy.
 
-use serde::{Deserialize, Serialize};
 
 /// A pipeline schedule to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Schedule {
     /// Batches per epoch.
     pub batches: usize,
@@ -26,6 +25,8 @@ pub struct Schedule {
     /// Epochs.
     pub epochs: usize,
 }
+
+fare_rt::json_struct!(Schedule { batches, stages, stall_after_batch, epoch_service, epochs });
 
 impl Schedule {
     /// Creates a schedule.
@@ -58,7 +59,7 @@ impl Schedule {
 }
 
 /// Result of simulating a [`Schedule`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimResult {
     /// Total cycles from first issue to last drain.
     pub total_cycles: usize,
@@ -67,6 +68,8 @@ pub struct SimResult {
     /// Pipeline utilisation: busy stage-slots / (stages × total cycles).
     pub utilization: f64,
 }
+
+fare_rt::json_struct!(SimResult { total_cycles, busy_cycles, utilization });
 
 /// Simulates the schedule cycle by cycle.
 ///

@@ -16,10 +16,9 @@
 //!   adjacency mapping, overlapped thereafter with execution on the
 //!   host), one clipping stage, and a per-epoch BIST scan (~0.13 %).
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one training run's pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineSpec {
     /// Subgraph batches per epoch (`N`).
     pub num_batches: usize,
@@ -31,6 +30,8 @@ pub struct PipelineSpec {
     /// Training epochs.
     pub epochs: usize,
 }
+
+fare_rt::json_struct!(PipelineSpec { num_batches, num_stages, stage_delay_s, epochs });
 
 impl PipelineSpec {
     /// Creates a spec.
@@ -51,7 +52,7 @@ impl PipelineSpec {
 }
 
 /// Execution-time model with the overhead constants of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// Pipeline geometry.
     pub spec: PipelineSpec,
@@ -62,6 +63,8 @@ pub struct TimingModel {
     /// Per-epoch BIST scan charge as a fraction of epoch time (~0.13 %).
     pub bist_fraction: f64,
 }
+
+fare_rt::json_struct!(TimingModel { spec, nr_stall_stages, fare_preprocess_fraction, bist_fraction });
 
 impl TimingModel {
     /// Model with the paper's overhead constants.
@@ -115,7 +118,7 @@ impl TimingModel {
 
 /// Execution times normalised to fault-free training (the bars of
 /// Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NormalizedTimes {
     /// Always 1.0.
     pub fault_free: f64,
@@ -126,6 +129,8 @@ pub struct NormalizedTimes {
     /// FARe relative time.
     pub fare: f64,
 }
+
+fare_rt::json_struct!(NormalizedTimes { fault_free, clipping, neuron_reordering, fare });
 
 impl NormalizedTimes {
     /// FARe's speedup over neuron reordering (the paper's "up to 4×").

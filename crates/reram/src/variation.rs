@@ -13,16 +13,17 @@
 //! [`crate::weights::WeightFabric`]-based readers.
 
 use fare_tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 /// Statistical description of programming variation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationSpec {
     /// Log-normal σ of the conductance factor (0 = ideal programming;
     /// real devices are typically 0.05–0.3).
     pub sigma: f64,
 }
+
+fare_rt::json_struct!(VariationSpec { sigma });
 
 impl VariationSpec {
     /// Creates a spec.
@@ -37,10 +38,12 @@ impl VariationSpec {
 }
 
 /// A frozen per-weight multiplicative variation field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariationField {
     factors: Matrix,
 }
+
+fare_rt::json_struct!(VariationField { factors });
 
 impl VariationField {
     /// Draws a `rows × cols` field from `spec`.
@@ -49,8 +52,8 @@ impl VariationField {
     ///
     /// ```
     /// use fare_reram::variation::{VariationField, VariationSpec};
-    /// use rand::SeedableRng;
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// use fare_rt::rand::SeedableRng;
+    /// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
     /// let field = VariationField::generate(8, 8, &VariationSpec::new(0.1), &mut rng);
     /// assert!(field.factors().iter().all(|&f| f > 0.0));
     /// ```
@@ -110,8 +113,8 @@ impl VariationField {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

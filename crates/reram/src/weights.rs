@@ -9,8 +9,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fare_rt::rand::Rng;
 
 use fare_tensor::fixed::{StuckPolarity, CELLS_PER_WORD};
 use fare_tensor::{CellWord, FixedFormat, Matrix};
@@ -26,16 +25,16 @@ use crate::{CrossbarArray, FaultSpec};
 /// use fare_reram::weights::WeightFabric;
 /// use fare_reram::FaultSpec;
 /// use fare_tensor::{FixedFormat, Matrix};
-/// use rand::SeedableRng;
+/// use fare_rt::rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(1);
 /// let mut fabric = WeightFabric::for_shape(16, 8, 32, FixedFormat::default());
 /// fabric.inject(&FaultSpec::density(0.05), &mut rng);
 /// let w = Matrix::filled(16, 8, 0.25);
 /// let faulty = fabric.corrupt(&w);
 /// assert_eq!(faulty.shape(), (16, 8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightFabric {
     fmt: FixedFormat,
     rows: usize,
@@ -46,6 +45,8 @@ pub struct WeightFabric {
     grid_cols: usize,
     array: CrossbarArray,
 }
+
+fare_rt::json_struct!(WeightFabric { fmt, rows, cols, n, weights_per_row, grid_rows, grid_cols, array });
 
 impl WeightFabric {
     /// Allocates crossbars for a `rows × cols` weight matrix on `n × n`
@@ -267,8 +268,8 @@ impl WeightFabric {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

@@ -3,9 +3,9 @@
 use fare_reram::weights::WeightFabric;
 use fare_reram::{Bist, Crossbar, CrossbarArray, FaultSpec, StuckPolarity};
 use fare_tensor::{FixedFormat, Matrix};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::prop::prelude::*;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 fn faulty_crossbar(n: usize, seed: u64, density: f64) -> Crossbar {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -17,7 +17,7 @@ fn faulty_crossbar(n: usize, seed: u64, density: f64) -> Crossbar {
 fn binary_matrix(n: usize, seed: u64, p: f64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     Matrix::from_fn(n, n, |_, _| {
-        if rand::Rng::gen_bool(&mut rng, p) {
+        if fare_rt::rand::Rng::gen_bool(&mut rng, p) {
             1.0
         } else {
             0.0

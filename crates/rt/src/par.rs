@@ -1,0 +1,216 @@
+//! Scoped-thread parallel map — the subset of `rayon` the workspace uses.
+//!
+//! `par_iter()` / `into_par_iter()` return a [`ParIter`] whose `map`
+//! fans contiguous chunks out over `std::thread::scope` threads and
+//! concatenates the results **in input order**. Because each item is
+//! mapped independently and results are reassembled positionally, output
+//! is bit-identical for any thread count — including 1 — which the
+//! workspace's determinism tests rely on.
+//!
+//! The thread count is a process-wide knob: [`set_threads`] wins, then
+//! the `FARE_RT_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the number of worker threads (`0` restores auto-detection).
+///
+/// Takes effect for every subsequent parallel call in the process; used
+/// by the determinism tests to compare 1- vs N-thread runs.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel calls will use.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("FARE_RT_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on scoped threads, preserving input order.
+pub fn scoped_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// An eager parallel iterator: `map` runs immediately on scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: scoped_map(self.items, f) }
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Collects the (already computed) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the results.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Owned conversion into a [`ParIter`] (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// Borrowing conversion, `slice.par_iter()` (mirrors
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Everything a `use fare_rt::par::prelude::*;` caller needs (mirrors
+/// `rayon::prelude`).
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_array_and_vec() {
+        let from_array: Vec<i32> = [1, 2, 3, 4].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(from_array, vec![2, 3, 4, 5]);
+        let from_vec: i64 = vec![1i64, 2, 3].into_par_iter().map(|x| x * x).sum();
+        assert_eq!(from_vec, 14);
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<String> = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn nested_parallel_maps() {
+        let outer: Vec<usize> = (0..8).collect();
+        let out: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..10).collect();
+                inner.par_iter().map(|&j| i * j).sum::<usize>()
+            })
+            .collect();
+        assert_eq!(out[3], 3 * 45);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let input: Vec<u64> = (0..37).collect();
+        set_threads(1);
+        let one: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(x)).collect();
+        set_threads(4);
+        let four: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(x)).collect();
+        set_threads(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -15,7 +15,6 @@
 //! - [`CellWord`] — the weight as eight 2-bit cells, MSB-first, with
 //!   stuck-at corruption applied per cell.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of ReRAM cells a single 16-bit weight is distributed across.
 pub const CELLS_PER_WORD: usize = 8;
@@ -34,10 +33,12 @@ pub const BITS_PER_CELL: u32 = 2;
 /// let x = fmt.encode(0.5);
 /// assert!((fmt.decode(x) - 0.5).abs() < fmt.resolution());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FixedFormat {
     frac_bits: u32,
 }
+
+fare_rt::json_struct!(FixedFormat { frac_bits });
 
 impl FixedFormat {
     /// Creates a format with the given number of fractional bits.
@@ -97,8 +98,10 @@ impl Default for FixedFormat {
 }
 
 /// One 16-bit fixed-point weight (two's complement).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Fixed16(pub i16);
+
+fare_rt::json_newtype!(Fixed16);
 
 impl Fixed16 {
     /// Raw two's-complement bits.
@@ -162,10 +165,12 @@ fn from_sign_magnitude(bits: u16) -> i16 {
 /// assert_eq!(neg.cell(0), 0b10); // sign bit set, top magnitude bit clear
 /// assert_eq!(neg.to_fixed(), Fixed16(-1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellWord {
     cells: [u8; CELLS_PER_WORD],
 }
+
+fare_rt::json_struct!(CellWord { cells });
 
 impl CellWord {
     /// Slices a fixed-point value into cells (sign-magnitude layout).
@@ -268,13 +273,15 @@ pub fn apply_cell_fault(
 ///
 /// SA0 pins the cell to the high-resistance state (reads as all-zero
 /// bits); SA1 pins it to the low-resistance state (reads as all-one bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StuckPolarity {
     /// Stuck-at-0: cell permanently reads `0b00`.
     StuckAtZero,
     /// Stuck-at-1: cell permanently reads `0b11`.
     StuckAtOne,
 }
+
+fare_rt::json_enum!(StuckPolarity { StuckAtZero, StuckAtOne });
 
 impl std::fmt::Display for StuckPolarity {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -1,9 +1,9 @@
 //! Weight initialisers.
 //!
-//! All initialisers take an explicit [`rand::Rng`] so experiments are
+//! All initialisers take an explicit [`fare_rt::rand::Rng`] so experiments are
 //! reproducible from a seed.
 
-use rand::Rng;
+use fare_rt::rand::Rng;
 
 use crate::Matrix;
 
@@ -14,8 +14,8 @@ use crate::Matrix;
 ///
 /// ```
 /// use fare_tensor::init;
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// use fare_rt::rand::SeedableRng;
+/// let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(7);
 /// let w = init::xavier_uniform(64, 32, &mut rng);
 /// assert_eq!(w.shape(), (64, 32));
 /// let a = (6.0f32 / 96.0).sqrt();
@@ -56,8 +56,8 @@ pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix 
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fare_rt::rand::rngs::StdRng;
+    use fare_rt::rand::SeedableRng;
 
     use super::*;
 

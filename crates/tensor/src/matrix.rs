@@ -1,7 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 use crate::ShapeError;
 
@@ -23,12 +22,14 @@ use crate::ShapeError;
 /// assert_eq!(m[(1, 0)], 3.0);
 /// assert_eq!(m.transpose()[(0, 1)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
+
+fare_rt::json_struct!(Matrix { rows, cols, data });
 
 impl Matrix {
     /// Creates a `rows`×`cols` matrix filled with zeros.

@@ -2,11 +2,11 @@
 
 use fare_tensor::fixed::{apply_cell_fault, StuckPolarity, CELLS_PER_WORD};
 use fare_tensor::{ops, CellWord, Fixed16, FixedFormat, Matrix};
-use proptest::prelude::*;
+use fare_rt::prop::prelude::*;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-100.0f32..100.0, r * c)
+        fare_rt::prop::collection::vec(-100.0f32..100.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
@@ -30,9 +30,9 @@ proptest! {
         dims in (1usize..6, 1usize..6, 1usize..6),
         seed in 0u64..1000,
     ) {
-        use rand::{Rng, SeedableRng};
+        use fare_rt::rand::{Rng, SeedableRng};
         let (m, k, n) = dims;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(seed);
         let mut rnd = |r: usize, c: usize| {
             Matrix::from_fn(r, c, |_, _| rng.gen_range(-2.0f32..2.0))
         };
@@ -51,9 +51,9 @@ proptest! {
         dims in (1usize..6, 1usize..6, 1usize..6),
         seed in 0u64..1000,
     ) {
-        use rand::{Rng, SeedableRng};
+        use fare_rt::rand::{Rng, SeedableRng};
         let (m, k, n) = dims;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(seed);
         let a = Matrix::from_fn(k, m, |_, _| rng.gen_range(-2.0f32..2.0));
         let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-2.0f32..2.0));
         let fast = a.t_matmul(&b);
@@ -124,8 +124,8 @@ proptest! {
 
     #[test]
     fn gcn_normalise_row_sums_bounded(seed in 0u64..500, n in 2usize..10) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use fare_rt::rand::{Rng, SeedableRng};
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(seed);
         let mut adj = Matrix::zeros(n, n);
         for i in 0..n {
             for j in (i + 1)..n {

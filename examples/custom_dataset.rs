@@ -11,7 +11,7 @@ use fare::core::{run_fault_free, FaultStrategy, TrainConfig, Trainer};
 use fare::graph::generate;
 use fare::graph::io::load_dataset;
 use fare::reram::FaultSpec;
-use rand::SeedableRng;
+use fare_rt::rand::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let edges_path = dir.join("edges.txt");
     let labels_path = dir.join("labels.txt");
     {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(7);
         let (graph, labels) = generate::sbm(300, 4, 0.15, 0.01, &mut rng);
         let mut edges_text = String::from("# u v\n");
         for (u, v) in graph.edges() {

@@ -10,10 +10,10 @@ use fare::reram::timing::PipelineSpec;
 use fare::reram::weights::WeightFabric;
 use fare::reram::{Bist, ChipConfig, CrossbarArray, FaultSpec};
 use fare::tensor::{FixedFormat, Matrix};
-use rand::SeedableRng;
+use fare_rt::rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(2024);
     let cfg = ChipConfig::date2024();
     println!(
         "chip: {}x{} crossbars, {} per tile, {} MHz, {}-bit cells",

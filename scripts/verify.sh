@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hermetic verification: build and test the whole workspace with the
+# network forbidden. This is the tier-1 gate from ROADMAP.md plus the
+# offline flag, so it fails loudly if anyone reintroduces a registry
+# dependency (see tests/manifest_lint.rs for the matching unit-level
+# guard).
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (debug build + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> offline release build"
+if [ "$QUICK" -eq 0 ]; then
+    cargo build --release --offline --workspace
+else
+    echo "    (skipped: --quick)"
+fi
+
+echo "==> offline debug build (all targets: tests, benches, examples)"
+cargo build --offline --workspace --all-targets
+
+echo "==> offline test suite"
+cargo test -q --offline --workspace
+
+echo "==> verify OK"

@@ -9,8 +9,8 @@ use fare::graph::batch::make_batches;
 use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare::graph::partition::partition;
 use fare::reram::{Bist, CrossbarArray, FaultSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 #[test]
 fn batched_mapping_reduces_corruption_on_every_batch() {

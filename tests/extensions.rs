@@ -8,8 +8,8 @@ use fare::graph::generate;
 use fare::graph::io::{assemble_dataset, read_edge_list};
 use fare::matching::Matcher;
 use fare::reram::{CrossbarArray, FaultSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 #[test]
 fn auction_solver_drives_the_full_mapping() {

@@ -7,8 +7,8 @@ use fare::graph::datasets::ModelKind;
 use fare::reram::weights::WeightFabric;
 use fare::reram::{CrossbarArray, FaultSpec, StuckPolarity};
 use fare::tensor::{FixedFormat, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
 #[test]
 fn injection_statistics_match_spec_across_scales() {

@@ -9,14 +9,14 @@ use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare::graph::CsrGraph;
 use fare::reram::{Bist, CrossbarArray, FaultMap, FaultSpec};
 use fare::tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::SeedableRng;
 
-fn round_trip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+fn round_trip<T: fare_rt::json::ToJson + fare_rt::json::FromJson + PartialEq + std::fmt::Debug>(
     value: &T,
 ) {
-    let json = serde_json::to_string(value).expect("serialises");
-    let back: T = serde_json::from_str(&json).expect("deserialises");
+    let json = fare_rt::json::to_string(value).expect("serialises");
+    let back: T = fare_rt::json::from_str(&json).expect("deserialises");
     assert_eq!(&back, value);
 }
 
@@ -63,8 +63,8 @@ fn model_round_trips_and_still_runs() {
     };
     for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat] {
         let model = Gnn::new(kind, dims, &mut rng);
-        let json = serde_json::to_string(&model).expect("serialises");
-        let back: Gnn = serde_json::from_str(&json).expect("deserialises");
+        let json = fare_rt::json::to_string(&model).expect("serialises");
+        let back: Gnn = fare_rt::json::from_str(&json).expect("deserialises");
         assert_eq!(back, model);
         // The restored model computes identically (edge checkpointing).
         let adj = Matrix::from_rows(&[
@@ -108,8 +108,8 @@ fn train_outcome_round_trips() {
     // JSON round-trips of f64 may differ by one ULP in serde_json's
     // reader, so compare with tolerance; the *second* round-trip must be
     // a fixed point.
-    let json = serde_json::to_string(&out).expect("serialises");
-    let back: TrainOutcome = serde_json::from_str(&json).expect("deserialises");
+    let json = fare_rt::json::to_string(&out).expect("serialises");
+    let back: TrainOutcome = fare_rt::json::from_str(&json).expect("deserialises");
     assert_eq!(back.history.len(), out.history.len());
     for (a, b) in back.history.iter().zip(&out.history) {
         assert_eq!(a.epoch, b.epoch);
@@ -119,8 +119,8 @@ fn train_outcome_round_trips() {
     }
     assert_eq!(back.num_batches, out.num_batches);
     assert_eq!(back.final_mapping_cost, out.final_mapping_cost);
-    let json2 = serde_json::to_string(&back).expect("serialises");
-    let back2: TrainOutcome = serde_json::from_str(&json2).expect("deserialises");
+    let json2 = fare_rt::json::to_string(&back).expect("serialises");
+    let back2: TrainOutcome = fare_rt::json::from_str(&json2).expect("deserialises");
     assert_eq!(back2, back, "second round-trip must be lossless");
     let stats: EpochStats = back.history[0];
     round_trip(&stats);
