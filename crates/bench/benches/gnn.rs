@@ -5,13 +5,14 @@ use fare_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fare_core::{FaultStrategy, FaultyWeightReader, TrainConfig, Trainer};
 use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
 use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare_graph::GraphView;
 use fare_reram::FaultSpec;
 use fare_tensor::{init, ops, Matrix};
 use fare_rt::rand::rngs::StdRng;
 use fare_rt::rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn batch_graph(n: usize, seed: u64) -> (Matrix, Matrix, Vec<usize>) {
+fn batch_graph(n: usize, seed: u64) -> (GraphView, Matrix, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj = Matrix::zeros(n, n);
     for i in 0..n {
@@ -24,7 +25,7 @@ fn batch_graph(n: usize, seed: u64) -> (Matrix, Matrix, Vec<usize>) {
     }
     let x = init::normal(n, 24, 1.0, &mut rng);
     let labels = (0..n).map(|i| i % 6).collect();
-    (adj, x, labels)
+    (GraphView::from_dense(adj), x, labels)
 }
 
 fn bench_forward_backward(c: &mut Criterion) {
@@ -43,7 +44,7 @@ fn bench_forward_backward(c: &mut Criterion) {
             b.iter(|| {
                 let (logits, cache) = model.forward(&adj, &x, &IdealReader);
                 let (_, grad) = ops::cross_entropy_with_grad(&logits, &labels);
-                let grads = model.backward(&cache, &grad);
+                let grads = model.backward(&adj, &cache, &grad);
                 model.apply_gradients(&grads, &mut opt);
                 black_box(())
             })

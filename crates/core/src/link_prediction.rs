@@ -33,10 +33,11 @@ use fare_reram::CrossbarArray;
 use fare_tensor::Matrix;
 use fare_rt::rand::Rng;
 
-use crate::faulty::{corrupt_adjacency_mapped, FaultyWeightReader};
+use crate::faulty::FaultyWeightReader;
 use crate::mapping::{
-    map_adjacency, reordered_sequential_mapping, sequential_mapping, Mapping, MappingConfig,
+    map_adjacency, reordered_sequential_mapping, sequential_mapping, MappingConfig,
 };
+use crate::trainer::hardware_view;
 use crate::{FaultStrategy, TrainConfig};
 
 /// Per-epoch link-prediction statistics.
@@ -71,11 +72,13 @@ fare_rt::json_struct!(LinkOutcome { history, final_auc, test_edges, embeddings }
 struct LinkBatch {
     nodes: Vec<usize>,
     adj: Matrix,
+    /// Corrupted training adjacency with cached normalisations. This
+    /// runner never injects post-deployment faults or remaps, so the
+    /// view built at batch assembly stays exact for the whole run.
+    view: fare_graph::GraphView,
     features: Matrix,
     train_pos: Vec<(usize, usize)>,
     test_pos: Vec<(usize, usize)>,
-    array: CrossbarArray,
-    mapping: Mapping,
 }
 
 fn sample_negatives(
@@ -175,14 +178,17 @@ pub fn run_link_prediction(config: &TrainConfig, seed: u64, dataset: &Dataset) -
                 _ => sequential_mapping(&adj, &array),
             };
             let features = batch.gather_features(&dataset.features);
+            // The array and mapping are consumed here: this runner never
+            // injects post-deployment faults or remaps, so only the
+            // corrupted view they produce is needed afterwards.
+            let view = hardware_view(cfg.adjacency_faults, &adj, &array, &mapping);
             LinkBatch {
                 nodes: batch.nodes.clone(),
                 adj,
+                view,
                 features,
                 train_pos,
                 test_pos,
-                array,
-                mapping,
             }
         })
         .collect();
@@ -197,12 +203,7 @@ pub fn run_link_prediction(config: &TrainConfig, seed: u64, dataset: &Dataset) -
         let mut pos_scores = Vec::new();
         let mut neg_scores = Vec::new();
         for state in states {
-            let adj_seen = if cfg.adjacency_faults {
-                corrupt_adjacency_mapped(&state.adj, &state.array, &state.mapping)
-            } else {
-                state.adj.clone()
-            };
-            let (emb, _) = model.forward(&adj_seen, &state.features, reader);
+            let (emb, _) = model.forward(&state.view, &state.features, reader);
             pos_scores.extend(pair_scores(&emb, &state.test_pos));
             let graph = CsrGraph::from_edges(
                 state.adj.rows(),
@@ -220,12 +221,7 @@ pub fn run_link_prediction(config: &TrainConfig, seed: u64, dataset: &Dataset) -
         let mut epoch_loss = 0.0;
         let num_states = states.len();
         for state in &mut states {
-            let adj_seen = if cfg.adjacency_faults {
-                corrupt_adjacency_mapped(&state.adj, &state.array, &state.mapping)
-            } else {
-                state.adj.clone()
-            };
-            let (emb, cache) = model.forward(&adj_seen, &state.features, &reader);
+            let (emb, cache) = model.forward(&state.view, &state.features, &reader);
             let graph = CsrGraph::from_edges(state.adj.rows(), &state.train_pos);
             let negs = sample_negatives(state.adj.rows(), &graph, state.train_pos.len(), &mut rng);
             if state.train_pos.is_empty() && negs.is_empty() {
@@ -233,7 +229,7 @@ pub fn run_link_prediction(config: &TrainConfig, seed: u64, dataset: &Dataset) -
             }
             let (loss, grad) = bce_loss_and_grad(&emb, &state.train_pos, &negs);
             epoch_loss += loss;
-            let grads = model.backward(&cache, &grad);
+            let grads = model.backward(&state.view, &cache, &grad);
             model.apply_gradients(&grads, &mut opt);
             if cfg.strategy.clips_weights() {
                 model.clip_weights(cfg.clip_threshold);
@@ -253,12 +249,7 @@ pub fn run_link_prediction(config: &TrainConfig, seed: u64, dataset: &Dataset) -
     // forward pass over every batch (for downstream clustering).
     let mut embeddings = Matrix::zeros(dataset.graph.num_nodes(), cfg.hidden_dim);
     for state in &states {
-        let adj_seen = if cfg.adjacency_faults {
-            corrupt_adjacency_mapped(&state.adj, &state.array, &state.mapping)
-        } else {
-            state.adj.clone()
-        };
-        let (emb, _) = model.forward(&adj_seen, &state.features, &reader);
+        let (emb, _) = model.forward(&state.view, &state.features, &reader);
         for (local, &global) in state.nodes.iter().enumerate() {
             embeddings.row_mut(global).copy_from_slice(emb.row(local));
         }

@@ -5,6 +5,7 @@ use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
 use fare_graph::batch::make_batches;
 use fare_graph::datasets::{Dataset, ModelKind};
 use fare_graph::partition::partition;
+use fare_graph::GraphView;
 use fare_matching::Matcher;
 use fare_reram::timing::{PipelineSpec, TimingModel};
 use fare_reram::{CrossbarArray, FaultSpec};
@@ -159,11 +160,34 @@ fn masked_cross_entropy(logits: &Matrix, labels: &[usize], mask: &[bool]) -> (f6
 /// Per-batch hardware state.
 struct BatchState {
     adj: Matrix,
+    /// The adjacency as the hardware currently aggregates it, with its
+    /// normalisations cached. Rebuilt only when the corruption changes
+    /// (initial mapping, post-deployment injection, permutation refresh)
+    /// — `corrupt_adjacency_mapped` is a pure function of
+    /// `(adj, array, mapping)`, so between those events the view is
+    /// exact.
+    view: GraphView,
     features: Matrix,
     labels: Vec<usize>,
     train_mask: Vec<bool>,
     array: CrossbarArray,
     mapping: Mapping,
+}
+
+/// The adjacency the model actually sees, wrapped in a [`GraphView`] so
+/// each normalisation is computed once per corruption event instead of
+/// once per forward pass.
+pub(crate) fn hardware_view(
+    adjacency_faults: bool,
+    adj: &Matrix,
+    array: &CrossbarArray,
+    mapping: &Mapping,
+) -> GraphView {
+    if adjacency_faults {
+        GraphView::from_dense(corrupt_adjacency_mapped(adj, array, mapping))
+    } else {
+        GraphView::from_dense(adj.clone())
+    }
 }
 
 /// Drives a full training run of one configuration on one dataset.
@@ -262,8 +286,10 @@ impl Trainer {
                 let labels = batch.gather_labels(&dataset.labels);
                 let train_mask: Vec<bool> =
                     batch.nodes.iter().map(|&u| dataset.train_mask[u]).collect();
+                let view = hardware_view(cfg.adjacency_faults, &adj, &array, &mapping);
                 BatchState {
                     adj,
+                    view,
                     features,
                     labels,
                     train_mask,
@@ -295,16 +321,11 @@ impl Trainer {
         for epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f64;
             for state in &mut states {
-                let adj_seen = if cfg.adjacency_faults {
-                    corrupt_adjacency_mapped(&state.adj, &state.array, &state.mapping)
-                } else {
-                    state.adj.clone()
-                };
-                let (logits, cache) = model.forward(&adj_seen, &state.features, &reader);
+                let (logits, cache) = model.forward(&state.view, &state.features, &reader);
                 let (loss, grad) =
                     masked_cross_entropy(&logits, &state.labels, &state.train_mask);
                 epoch_loss += loss;
-                let mut grads = model.backward(&cache, &grad);
+                let mut grads = model.backward(&state.view, &cache, &grad);
                 if cfg.grad_clip_norm > 0.0 {
                     grads.clip_norm(cfg.grad_clip_norm);
                 }
@@ -356,6 +377,14 @@ impl Trainer {
                         }
                     }
                     reader.optimize_placements(&model, cfg.matcher);
+                }
+                // The corruption changed (new faults and possibly new
+                // permutations) — rebuild the cached views.
+                if cfg.adjacency_faults {
+                    for state in &mut states {
+                        state.view =
+                            hardware_view(true, &state.adj, &state.array, &state.mapping);
+                    }
                 }
             }
 
@@ -410,16 +439,10 @@ impl Trainer {
         reader: &FaultyWeightReader,
         states: &[BatchState],
     ) -> (f64, f64) {
-        let cfg = &self.config;
         let mut train = (0usize, 0usize);
         let mut test = (0usize, 0usize);
         for state in states {
-            let adj_seen = if cfg.adjacency_faults {
-                corrupt_adjacency_mapped(&state.adj, &state.array, &state.mapping)
-            } else {
-                state.adj.clone()
-            };
-            let (logits, _) = model.forward(&adj_seen, &state.features, reader);
+            let (logits, _) = model.forward(&state.view, &state.features, reader);
             let preds = logits.argmax_rows();
             for (i, &label) in state.labels.iter().enumerate() {
                 let correct = (preds[i] == label) as usize;
@@ -465,7 +488,7 @@ pub fn run_fault_free(config: &TrainConfig, seed: u64, dataset: &Dataset) -> Tra
         Adam::new(config.learning_rate, &model).with_weight_decay(config.weight_decay);
 
     struct Prepared {
-        adj: Matrix,
+        view: GraphView,
         features: Matrix,
         labels: Vec<usize>,
         train_mask: Vec<bool>,
@@ -473,7 +496,9 @@ pub fn run_fault_free(config: &TrainConfig, seed: u64, dataset: &Dataset) -> Tra
     let prepared: Vec<Prepared> = batches
         .iter()
         .map(|b| Prepared {
-            adj: b.dense_adjacency(),
+            // Fault-free: build the sparse view straight from the batch
+            // subgraph, never materialising a dense adjacency.
+            view: GraphView::from_graph(&b.graph),
             features: b.gather_features(&dataset.features),
             labels: b.gather_labels(&dataset.labels),
             train_mask: b.nodes.iter().map(|&u| dataset.train_mask[u]).collect(),
@@ -484,10 +509,10 @@ pub fn run_fault_free(config: &TrainConfig, seed: u64, dataset: &Dataset) -> Tra
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0;
         for p in &prepared {
-            let (logits, cache) = model.forward(&p.adj, &p.features, &IdealReader);
+            let (logits, cache) = model.forward(&p.view, &p.features, &IdealReader);
             let (loss, grad) = masked_cross_entropy(&logits, &p.labels, &p.train_mask);
             epoch_loss += loss;
-            let mut grads = model.backward(&cache, &grad);
+            let mut grads = model.backward(&p.view, &cache, &grad);
             if config.grad_clip_norm > 0.0 {
                 grads.clip_norm(config.grad_clip_norm);
             }
@@ -496,7 +521,7 @@ pub fn run_fault_free(config: &TrainConfig, seed: u64, dataset: &Dataset) -> Tra
         let mut train = (0usize, 0usize);
         let mut test = (0usize, 0usize);
         for p in &prepared {
-            let (logits, _) = model.forward(&p.adj, &p.features, &IdealReader);
+            let (logits, _) = model.forward(&p.view, &p.features, &IdealReader);
             let preds = logits.argmax_rows();
             for (i, &label) in p.labels.iter().enumerate() {
                 let correct = (preds[i] == label) as usize;

@@ -1,3 +1,4 @@
+use fare_graph::GraphView;
 use fare_tensor::{init, ops, Matrix};
 use fare_rt::rand::Rng;
 
@@ -90,17 +91,19 @@ impl GatLayer {
         }
     }
 
-    /// Forward pass over the binary batch adjacency.
+    /// Forward pass over the batch graph view. Attention needs the full
+    /// neighbourhood mask, so this is the one layer that still reads the
+    /// dense adjacency ([`GraphView::dense`]).
     pub fn forward(
         &self,
-        adj: &Matrix,
+        view: &GraphView,
         input: &Matrix,
         reader: &impl WeightReader,
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, GatCache) {
-        let n = adj.rows();
-        assert_eq!(adj.cols(), n, "adjacency must be square");
+        let n = view.num_nodes();
+        let adj = view.dense();
         let weight_read = reader.read(layer_index, 0, &self.weight);
         let attn_src_read = reader.read(layer_index, 1, &self.attn_src);
         let attn_dst_read = reader.read(layer_index, 2, &self.attn_dst);
@@ -224,12 +227,12 @@ mod tests {
     use super::*;
     use crate::IdealReader;
 
-    fn setup() -> (GatLayer, Matrix, Matrix) {
+    fn setup() -> (GatLayer, GraphView, Matrix) {
         let mut rng = StdRng::seed_from_u64(4);
         let layer = GatLayer::new(3, 2, &mut rng);
         let adj = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
         let x = init::normal(3, 3, 1.0, &mut rng);
-        (layer, adj, x)
+        (layer, GraphView::from_dense(adj), x)
     }
 
     #[test]
@@ -259,7 +262,7 @@ mod tests {
     fn isolated_node_attends_to_itself() {
         let mut rng = StdRng::seed_from_u64(5);
         let layer = GatLayer::new(2, 2, &mut rng);
-        let adj = Matrix::zeros(2, 2);
+        let adj = GraphView::from_dense(Matrix::zeros(2, 2));
         let x = Matrix::from_rows(&[&[1.0, 0.5], &[0.2, -0.3]]);
         let (_, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
         assert!((cache.attention[(0, 0)] - 1.0).abs() < 1e-6);

@@ -1,3 +1,4 @@
+use fare_graph::GraphView;
 use fare_tensor::{init, ops, Matrix};
 use fare_rt::rand::Rng;
 
@@ -16,10 +17,12 @@ pub struct GcnLayer {
 fare_rt::json_struct!(GcnLayer { weight });
 
 /// Forward-pass cache for [`GcnLayer::backward`].
+///
+/// The propagation matrix Â is *not* cached here — it lives in the
+/// [`GraphView`] the caller passes to both passes, built once per
+/// graph instead of once per forward.
 #[derive(Debug, Clone)]
 pub struct GcnCache {
-    /// Normalised adjacency Â (symmetric).
-    a_hat: Matrix,
     /// Â · H (aggregated input).
     aggregated: Matrix,
     /// Pre-activation Z = Â·H·W.
@@ -52,22 +55,22 @@ impl GcnLayer {
         &mut self.weight
     }
 
-    /// Forward pass. `adj` is the binary batch adjacency; `reader` maps
-    /// master weights to hardware-read weights.
+    /// Forward pass. `view` carries the batch graph with its cached
+    /// normalised adjacency; `reader` maps master weights to
+    /// hardware-read weights.
     ///
     /// # Panics
     ///
-    /// Panics if `adj` is not square or shapes are inconsistent.
+    /// Panics if shapes are inconsistent.
     pub fn forward(
         &self,
-        adj: &Matrix,
+        view: &GraphView,
         input: &Matrix,
         reader: &impl WeightReader,
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, GcnCache) {
-        let a_hat = ops::gcn_normalise(adj);
-        let aggregated = a_hat.matmul(input);
+        let aggregated = view.gcn_norm().spmm(input);
         let weight_read = reader.read(layer_index, 0, &self.weight);
         let pre_activation = aggregated.matmul(&weight_read);
         let out = if output_layer {
@@ -78,7 +81,6 @@ impl GcnLayer {
         (
             out,
             GcnCache {
-                a_hat,
                 aggregated,
                 pre_activation,
                 weight_read,
@@ -87,8 +89,14 @@ impl GcnLayer {
         )
     }
 
-    /// Backward pass: returns `(param_grads, grad_input)`.
-    pub fn backward(&self, cache: &GcnCache, grad_output: &Matrix) -> (Vec<Matrix>, Matrix) {
+    /// Backward pass: returns `(param_grads, grad_input)`. `view` must
+    /// be the one the forward pass ran with.
+    pub fn backward(
+        &self,
+        view: &GraphView,
+        cache: &GcnCache,
+        grad_output: &Matrix,
+    ) -> (Vec<Matrix>, Matrix) {
         let grad_z = if cache.output_layer {
             grad_output.clone()
         } else {
@@ -96,7 +104,7 @@ impl GcnLayer {
         };
         let grad_w = cache.aggregated.t_matmul(&grad_z);
         // Â is symmetric, so Âᵀ = Â.
-        let grad_input = cache.a_hat.matmul(&grad_z.matmul_t(&cache.weight_read));
+        let grad_input = view.gcn_norm().spmm(&grad_z.matmul_t(&cache.weight_read));
         (vec![grad_w], grad_input)
     }
 }
@@ -109,12 +117,12 @@ mod tests {
     use super::*;
     use crate::IdealReader;
 
-    fn setup() -> (GcnLayer, Matrix, Matrix) {
+    fn setup() -> (GcnLayer, GraphView, Matrix) {
         let mut rng = StdRng::seed_from_u64(1);
         let layer = GcnLayer::new(3, 2, &mut rng);
         let adj = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
         let x = init::normal(3, 3, 1.0, &mut rng);
-        (layer, adj, x)
+        (layer, GraphView::from_dense(adj), x)
     }
 
     #[test]
@@ -148,7 +156,7 @@ mod tests {
         };
         let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
         let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
-        let (grads, _) = layer.backward(&cache, &grad_logits);
+        let (grads, _) = layer.backward(&adj, &cache, &grad_logits);
 
         let eps = 1e-3f32;
         for r in 0..3 {
@@ -175,7 +183,7 @@ mod tests {
         let labels = [0usize, 1, 0];
         let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
         let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
-        let (_, grad_input) = layer.backward(&cache, &grad_logits);
+        let (_, grad_input) = layer.backward(&adj, &cache, &grad_logits);
 
         let eps = 1e-3f32;
         let mut x2 = x.clone();
@@ -204,7 +212,7 @@ mod tests {
         let (layer, adj, x) = setup();
         let (_, cache) = layer.forward(&adj, &x, &IdealReader, 0, false);
         let ones = Matrix::filled(3, 2, 1.0);
-        let (grads, _) = layer.backward(&cache, &ones);
+        let (grads, _) = layer.backward(&adj, &cache, &ones);
         assert_eq!(grads.len(), 1);
         assert_eq!(grads[0].shape(), layer.weight().shape());
     }

@@ -7,6 +7,7 @@
 //! head's own backward pass, so the finite-difference-checked
 //! single-head math is reused unchanged.
 
+use fare_graph::GraphView;
 use fare_tensor::Matrix;
 use fare_rt::rand::Rng;
 
@@ -86,7 +87,7 @@ impl MultiHeadGat {
     /// `(layer, param)` keys per head parameter.
     pub fn forward(
         &self,
-        adj: &Matrix,
+        view: &GraphView,
         input: &Matrix,
         reader: &impl WeightReader,
         layer_index: usize,
@@ -103,7 +104,7 @@ impl MultiHeadGat {
                 inner: reader,
                 offset: param_base + 3 * h,
             };
-            let (head_out, cache) = head.forward(adj, input, &shifted, layer_index, output_layer);
+            let (head_out, cache) = head.forward(view, input, &shifted, layer_index, output_layer);
             for r in 0..n {
                 let dst = out.row_mut(r);
                 dst[h * self.out_per_head..(h + 1) * self.out_per_head]
@@ -163,12 +164,12 @@ mod tests {
     use super::*;
     use crate::IdealReader;
 
-    fn setup(heads: usize) -> (MultiHeadGat, Matrix, Matrix) {
+    fn setup(heads: usize) -> (MultiHeadGat, GraphView, Matrix) {
         let mut rng = StdRng::seed_from_u64(21);
         let layer = MultiHeadGat::new(3, 4, heads, &mut rng);
         let adj = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
         let x = init::normal(3, 3, 1.0, &mut rng);
-        (layer, adj, x)
+        (layer, GraphView::from_dense(adj), x)
     }
 
     #[test]
@@ -190,7 +191,7 @@ mod tests {
         let multi = MultiHeadGat::new(3, 4, 1, &mut rng1);
         let mut rng2 = StdRng::seed_from_u64(5);
         let single = GatLayer::new(3, 4, &mut rng2);
-        let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let adj = GraphView::from_dense(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
         let x = Matrix::from_rows(&[&[0.3, -0.2, 0.5], &[-0.4, 0.1, 0.2]]);
         let (a, _) = multi.forward(&adj, &x, &IdealReader, 0, 0, true);
         let (b, _) = single.forward(&adj, &x, &IdealReader, 0, true);

@@ -1,3 +1,4 @@
+use fare_graph::GraphView;
 use fare_tensor::{init, ops, Matrix};
 use fare_rt::rand::Rng;
 
@@ -14,10 +15,12 @@ pub struct SageLayer {
 fare_rt::json_struct!(SageLayer { w_self, w_neigh });
 
 /// Forward-pass cache for [`SageLayer::backward`].
+///
+/// The propagation matrix Ā (and its transpose, which the backward
+/// pass multiplies by) is not cached here — both live in the
+/// [`GraphView`], built once per graph.
 #[derive(Debug, Clone)]
 pub struct SageCache {
-    /// Row-normalised adjacency Ā = D⁻¹A.
-    a_mean: Matrix,
     /// Layer input H.
     input: Matrix,
     /// Ā · H.
@@ -69,17 +72,16 @@ impl SageLayer {
         }
     }
 
-    /// Forward pass over the binary batch adjacency.
+    /// Forward pass over the batch graph view.
     pub fn forward(
         &self,
-        adj: &Matrix,
+        view: &GraphView,
         input: &Matrix,
         reader: &impl WeightReader,
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, SageCache) {
-        let a_mean = ops::row_normalise(adj);
-        let aggregated = a_mean.matmul(input);
+        let aggregated = view.mean_norm().spmm(input);
         let w_self_read = reader.read(layer_index, 0, &self.w_self);
         let w_neigh_read = reader.read(layer_index, 1, &self.w_neigh);
         let pre_activation =
@@ -92,7 +94,6 @@ impl SageLayer {
         (
             out,
             SageCache {
-                a_mean,
                 input: input.clone(),
                 aggregated,
                 pre_activation,
@@ -104,7 +105,13 @@ impl SageLayer {
     }
 
     /// Backward pass: returns `([grad_w_self, grad_w_neigh], grad_input)`.
-    pub fn backward(&self, cache: &SageCache, grad_output: &Matrix) -> (Vec<Matrix>, Matrix) {
+    /// `view` must be the one the forward pass ran with.
+    pub fn backward(
+        &self,
+        view: &GraphView,
+        cache: &SageCache,
+        grad_output: &Matrix,
+    ) -> (Vec<Matrix>, Matrix) {
         let grad_z = if cache.output_layer {
             grad_output.clone()
         } else {
@@ -114,7 +121,7 @@ impl SageLayer {
         let grad_w_neigh = cache.aggregated.t_matmul(&grad_z);
         // dX = dZ Wsᵀ + Āᵀ (dZ Wnᵀ). Ā is not symmetric.
         let grad_input = &grad_z.matmul_t(&cache.w_self_read)
-            + &cache.a_mean.t_matmul(&grad_z.matmul_t(&cache.w_neigh_read));
+            + &view.mean_norm_t().spmm(&grad_z.matmul_t(&cache.w_neigh_read));
         (vec![grad_w_self, grad_w_neigh], grad_input)
     }
 }
@@ -128,12 +135,12 @@ mod tests {
     use super::*;
     use crate::IdealReader;
 
-    fn setup() -> (SageLayer, Matrix, Matrix) {
+    fn setup() -> (SageLayer, GraphView, Matrix) {
         let mut rng = StdRng::seed_from_u64(2);
         let layer = SageLayer::new(3, 2, &mut rng);
         let adj = Matrix::from_rows(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]]);
         let x = init::normal(3, 3, 1.0, &mut rng);
-        (layer, adj, x)
+        (layer, GraphView::from_dense(adj), x)
     }
 
     #[test]
@@ -148,7 +155,7 @@ mod tests {
     fn isolated_node_uses_self_path_only() {
         let mut rng = StdRng::seed_from_u64(3);
         let layer = SageLayer::new(2, 2, &mut rng);
-        let adj = Matrix::zeros(2, 2);
+        let adj = GraphView::from_dense(Matrix::zeros(2, 2));
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let (out, _) = layer.forward(&adj, &x, &IdealReader, 0, true);
         let expected = x.matmul(layer.param(0));
@@ -165,7 +172,7 @@ mod tests {
         };
         let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
         let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
-        let (grads, _) = layer.backward(&cache, &grad_logits);
+        let (grads, _) = layer.backward(&adj, &cache, &grad_logits);
 
         let eps = 1e-3f32;
         for p in 0..2 {
@@ -194,7 +201,7 @@ mod tests {
         let labels = [1usize, 0, 1];
         let (out, cache) = layer.forward(&adj, &x, &IdealReader, 0, true);
         let (_, grad_logits) = ops::cross_entropy_with_grad(&out, &labels);
-        let (_, grad_input) = layer.backward(&cache, &grad_logits);
+        let (_, grad_input) = layer.backward(&adj, &cache, &grad_logits);
 
         let eps = 1e-3f32;
         let mut x2 = x.clone();

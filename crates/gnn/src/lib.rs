@@ -12,27 +12,30 @@
 //! the hook that lets the same model train on ideal hardware
 //! ([`IdealReader`]) or on a faulty ReRAM fabric (implemented in
 //! `fare-core`). Adjacency corruption happens *before* the model sees the
-//! batch — models receive a (possibly fault-corrupted) binary adjacency
-//! and normalise it internally.
+//! batch — models receive a `fare_graph::GraphView` wrapping the
+//! (possibly fault-corrupted) binary adjacency; the view caches the
+//! normalised propagation matrices once per graph and the layers
+//! aggregate with sparse kernels.
 //!
 //! # Example
 //!
 //! ```
 //! use fare_gnn::{Adam, Gnn, GnnDims, IdealReader};
 //! use fare_graph::datasets::ModelKind;
+//! use fare_graph::GraphView;
 //! use fare_tensor::{ops, Matrix};
 //! use fare_rt::rand::SeedableRng;
 //!
 //! let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(0);
 //! let dims = GnnDims { input: 4, hidden: 8, output: 2 };
 //! let mut model = Gnn::new(ModelKind::Gcn, dims, &mut rng);
-//! let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let adj = GraphView::from_dense(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
 //! let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]);
 //! let mut opt = Adam::new(0.01, &model);
 //!
 //! let (logits, cache) = model.forward(&adj, &x, &IdealReader);
 //! let (_, grad) = ops::cross_entropy_with_grad(&logits, &[0, 1]);
-//! let grads = model.backward(&cache, &grad);
+//! let grads = model.backward(&adj, &cache, &grad);
 //! model.apply_gradients(&grads, &mut opt);
 //! ```
 

@@ -1,4 +1,5 @@
 use fare_graph::datasets::ModelKind;
+use fare_graph::GraphView;
 use fare_tensor::Matrix;
 use fare_rt::rand::Rng;
 
@@ -148,10 +149,12 @@ impl Gradients {
 /// [`Gnn::with_depth`]).
 ///
 /// The model is deliberately backend-agnostic: the forward pass receives
-/// the **binary** batch adjacency (corrupt it upstream to simulate
-/// aggregation-phase faults) and reads every parameter through a
-/// [`WeightReader`] (substitute a faulty reader to simulate
-/// combination-phase faults).
+/// a [`GraphView`] over the **binary** batch adjacency (corrupt it
+/// upstream to simulate aggregation-phase faults, then wrap it in a
+/// view) and reads every parameter through a [`WeightReader`]
+/// (substitute a faulty reader to simulate combination-phase faults).
+/// The view caches the normalised propagation matrices, so build it once
+/// per (batch, corruption) pair — not once per forward.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Gnn {
     kind: ModelKind,
@@ -254,20 +257,19 @@ impl Gnn {
         self.layers[layer].param_mut(param)
     }
 
-    /// Forward pass: binary adjacency + features → logits.
+    /// Forward pass: batch graph view + features → logits.
     ///
     /// # Panics
     ///
-    /// Panics if `adj` is not square over the same node count as
-    /// `features`, or feature width differs from `dims.input`.
+    /// Panics if the view's node count differs from `features`' rows, or
+    /// feature width differs from `dims.input`.
     pub fn forward(
         &self,
-        adj: &Matrix,
+        view: &GraphView,
         features: &Matrix,
         reader: &impl WeightReader,
     ) -> (Matrix, ForwardCache) {
-        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
-        assert_eq!(adj.rows(), features.rows(), "adjacency/features node mismatch");
+        assert_eq!(view.num_nodes(), features.rows(), "graph/features node mismatch");
         assert_eq!(
             features.cols(),
             self.dims.input,
@@ -282,15 +284,15 @@ impl Gnn {
             let output_layer = li == last;
             let (next, cache) = match layer {
                 Layer::Gcn(l) => {
-                    let (o, c) = l.forward(adj, &h, reader, li, output_layer);
+                    let (o, c) = l.forward(view, &h, reader, li, output_layer);
                     (o, LayerCache::Gcn(c))
                 }
                 Layer::Sage(l) => {
-                    let (o, c) = l.forward(adj, &h, reader, li, output_layer);
+                    let (o, c) = l.forward(view, &h, reader, li, output_layer);
                     (o, LayerCache::Sage(c))
                 }
                 Layer::Gat(l) => {
-                    let (o, c) = l.forward(adj, &h, reader, li, output_layer);
+                    let (o, c) = l.forward(view, &h, reader, li, output_layer);
                     (o, LayerCache::Gat(c))
                 }
             };
@@ -300,19 +302,20 @@ impl Gnn {
         (h, ForwardCache { caches })
     }
 
-    /// Backward pass from the loss gradient w.r.t. the logits.
+    /// Backward pass from the loss gradient w.r.t. the logits. `view`
+    /// must be the one the forward pass ran with.
     ///
     /// # Panics
     ///
     /// Panics if `cache` does not match this model's layer count.
-    pub fn backward(&self, cache: &ForwardCache, grad_logits: &Matrix) -> Gradients {
+    pub fn backward(&self, view: &GraphView, cache: &ForwardCache, grad_logits: &Matrix) -> Gradients {
         assert_eq!(cache.caches.len(), self.layers.len(), "stale forward cache");
         let mut per_layer = vec![Vec::new(); self.layers.len()];
         let mut grad = grad_logits.clone();
         for li in (0..self.layers.len()).rev() {
             let (grads, grad_in) = match (&self.layers[li], &cache.caches[li]) {
-                (Layer::Gcn(l), LayerCache::Gcn(c)) => l.backward(c, &grad),
-                (Layer::Sage(l), LayerCache::Sage(c)) => l.backward(c, &grad),
+                (Layer::Gcn(l), LayerCache::Gcn(c)) => l.backward(view, c, &grad),
+                (Layer::Sage(l), LayerCache::Sage(c)) => l.backward(view, c, &grad),
                 (Layer::Gat(l), LayerCache::Gat(c)) => l.backward(c, &grad),
                 _ => unreachable!("cache/layer kind mismatch"),
             };
@@ -384,14 +387,14 @@ mod tests {
         }
     }
 
-    fn ring_adj(n: usize) -> Matrix {
+    fn ring_adj(n: usize) -> GraphView {
         let mut adj = Matrix::zeros(n, n);
         for i in 0..n {
             let j = (i + 1) % n;
             adj[(i, j)] = 1.0;
             adj[(j, i)] = 1.0;
         }
-        adj
+        GraphView::from_dense(adj)
     }
 
     #[test]
@@ -443,7 +446,7 @@ mod tests {
             for _ in 0..30 {
                 let (logits, cache) = model.forward(&adj, &x, &IdealReader);
                 let (_, grad) = ops::cross_entropy_with_grad(&logits, &labels);
-                let grads = model.backward(&cache, &grad);
+                let grads = model.backward(&adj, &cache, &grad);
                 model.apply_gradients(&grads, &mut opt);
             }
             let (logits, _) = model.forward(&adj, &x, &IdealReader);
@@ -472,7 +475,7 @@ mod tests {
         let model = Gnn::new(ModelKind::Gcn, dims(), &mut rng);
         let (logits, cache) = model.forward(&adj, &x, &IdealReader);
         let (_, grad) = ops::cross_entropy_with_grad(&logits, &[0, 1, 2, 0, 1, 2]);
-        let grads = model.backward(&cache, &grad);
+        let grads = model.backward(&adj, &cache, &grad);
         assert!(grads.total_norm() > 0.0);
         assert_eq!(grads.get(0, 0).shape(), (4, 6));
     }
@@ -485,7 +488,7 @@ mod tests {
         let model = Gnn::new(ModelKind::Gcn, dims(), &mut rng);
         let (logits, cache) = model.forward(&adj, &x, &IdealReader);
         let (_, grad) = ops::cross_entropy_with_grad(&logits, &[0, 1, 2, 0, 1, 2]);
-        let mut grads = model.backward(&cache, &grad);
+        let mut grads = model.backward(&adj, &cache, &grad);
         let before = grads.get(0, 0).clone();
         grads.clip_norm(1e-3);
         // Joint norm now bounded.
@@ -547,7 +550,7 @@ mod tests {
         for _ in 0..40 {
             let (logits, cache) = model.forward(&adj, &x, &IdealReader);
             let (_, grad) = ops::cross_entropy_with_grad(&logits, &labels);
-            let grads = model.backward(&cache, &grad);
+            let grads = model.backward(&adj, &cache, &grad);
             model.apply_gradients(&grads, &mut opt);
         }
         let (logits, _) = model.forward(&adj, &x, &IdealReader);

@@ -3,12 +3,13 @@
 
 use fare_gnn::{Adam, Gnn, GnnDims, IdealReader, Sgd};
 use fare_graph::datasets::ModelKind;
+use fare_graph::GraphView;
 use fare_tensor::{init, ops, Matrix};
 use fare_rt::prop::prelude::*;
 use fare_rt::rand::rngs::StdRng;
 use fare_rt::rand::{Rng, SeedableRng};
 
-fn random_case(seed: u64, n: usize) -> (Matrix, Matrix, Vec<usize>) {
+fn random_case(seed: u64, n: usize) -> (GraphView, Matrix, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj = Matrix::zeros(n, n);
     for i in 0..n {
@@ -21,7 +22,7 @@ fn random_case(seed: u64, n: usize) -> (Matrix, Matrix, Vec<usize>) {
     }
     let x = init::normal(n, 4, 1.0, &mut rng);
     let labels = (0..n).map(|i| i % 3).collect();
-    (adj, x, labels)
+    (GraphView::from_dense(adj), x, labels)
 }
 
 fn dims() -> GnnDims {
@@ -47,7 +48,7 @@ proptest! {
 
         let (logits, cache) = model.forward(&adj, &x, &IdealReader);
         let (_, grad_logits) = ops::cross_entropy_with_grad(&logits, &labels);
-        let grads = model.backward(&cache, &grad_logits);
+        let grads = model.backward(&adj, &cache, &grad_logits);
 
         // Spot-check a few entries of every parameter against central
         // differences.
@@ -112,7 +113,7 @@ proptest! {
         let mut opt = Adam::new(0.005, &model);
         let (logits, cache) = model.forward(&adj, &x, &IdealReader);
         let (before, grad) = ops::cross_entropy_with_grad(&logits, &labels);
-        let grads = model.backward(&cache, &grad);
+        let grads = model.backward(&adj, &cache, &grad);
         // Skip degenerate zero-gradient cases.
         prop_assume!(grads.total_norm() > 1e-6);
         model.apply_gradients(&grads, &mut opt);

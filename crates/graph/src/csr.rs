@@ -200,14 +200,14 @@ impl CsrGraph {
             "feature rows must equal node count"
         );
         let mut out = Matrix::zeros(self.num_nodes(), x.cols());
-        for u in 0..self.num_nodes() {
-            let row = out.row_mut(u);
+        let cols = x.cols();
+        fare_rt::par::par_row_chunks(out.as_mut_slice(), cols, |u, row| {
             for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
                 for (o, &f) in row.iter_mut().zip(x.row(v)) {
                     *o += f;
                 }
             }
-        }
+        });
         out
     }
 
@@ -215,7 +215,10 @@ impl CsrGraph {
     /// materialising the dense adjacency.
     ///
     /// Matches [`fare_tensor::ops::gcn_normalise`] composed with a dense
-    /// matmul (see tests), at `O(|E| · d)` cost.
+    /// matmul *bit for bit* (each output row accumulates its nonzeros in
+    /// ascending column order with the analytic self loop at its sorted
+    /// diagonal position), at `O(|E| · d)` cost. Parallel over output
+    /// rows; bit-identical for any thread count.
     ///
     /// # Panics
     ///
@@ -227,40 +230,60 @@ impl CsrGraph {
             .map(|u| 1.0 / ((self.degree(u) + 1) as f32).sqrt())
             .collect();
         let mut out = Matrix::zeros(n, x.cols());
-        for u in 0..n {
-            // Self loop.
-            let self_w = inv_sqrt[u] * inv_sqrt[u];
-            for (o, &f) in out.row_mut(u).iter_mut().zip(x.row(u)) {
-                *o += self_w * f;
-            }
+        let cols = x.cols();
+        fare_rt::par::par_row_chunks(out.as_mut_slice(), cols, |u, row| {
+            let du = inv_sqrt[u];
+            let mut self_placed = false;
             for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
-                let w = inv_sqrt[u] * inv_sqrt[v];
-                let row = out.row_mut(u);
+                if !self_placed && v > u {
+                    let self_w = du * du;
+                    for (o, &f) in row.iter_mut().zip(x.row(u)) {
+                        *o += self_w * f;
+                    }
+                    self_placed = true;
+                }
+                let w = du * inv_sqrt[v];
                 for (o, &f) in row.iter_mut().zip(x.row(v)) {
                     *o += w * f;
                 }
             }
-        }
+            if !self_placed {
+                let self_w = du * du;
+                for (o, &f) in row.iter_mut().zip(x.row(u)) {
+                    *o += self_w * f;
+                }
+            }
+        });
         out
     }
 
     /// Sparse mean aggregation `D^{-1}A · X` (GraphSAGE's neighbour
     /// average). Isolated nodes aggregate to zero.
     ///
+    /// Matches [`fare_tensor::ops::row_normalise`] composed with a dense
+    /// matmul bit for bit: each neighbour contribution is scaled by
+    /// `1/deg` *before* accumulation (not summed then divided), which is
+    /// what the dense path computes. Parallel over output rows.
+    ///
     /// # Panics
     ///
     /// Panics if `x.rows() != num_nodes()`.
     pub fn mean_aggregate(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.rows(), self.num_nodes(), "feature rows must equal node count");
-        let mut out = self.spmm(x);
-        for u in 0..self.num_nodes() {
-            let d = self.degree(u);
-            if d > 0 {
-                for o in out.row_mut(u) {
-                    *o /= d as f32;
+        let mut out = Matrix::zeros(self.num_nodes(), x.cols());
+        let cols = x.cols();
+        fare_rt::par::par_row_chunks(out.as_mut_slice(), cols, |u, row| {
+            let d = self.offsets[u + 1] - self.offsets[u];
+            if d == 0 {
+                return;
+            }
+            let w = 1.0 / d as f32;
+            for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
+                for (o, &f) in row.iter_mut().zip(x.row(v)) {
+                    *o += w * f;
                 }
             }
-        }
+        });
         out
     }
 

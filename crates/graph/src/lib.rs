@@ -17,6 +17,9 @@
 //!   Amazon2M, Ogbl-citation2) with learnable features/labels.
 //! - [`stats`] — degree and block-density statistics (the profile
 //!   Algorithm 1's pruning heuristic reasons about).
+//! - [`CsrMatrix`] / [`GraphView`] — weighted sparse matrices and the
+//!   once-per-graph cache of normalised propagation matrices the GNN
+//!   layers aggregate with (the sparse-parallel compute core).
 //!
 //! # Example
 //!
@@ -37,7 +40,11 @@ pub mod datasets;
 pub mod generate;
 pub mod io;
 pub mod partition;
+mod sparse;
 pub mod stats;
+mod view;
 
 pub use csr::CsrGraph;
 pub use partition::Partitioning;
+pub use sparse::CsrMatrix;
+pub use view::GraphView;

@@ -120,3 +120,103 @@ proptest! {
         }
     }
 }
+
+/// Bitwise view of a matrix, so `-0.0` vs `0.0` and ULP drift both fail.
+fn bits(m: &fare_tensor::Matrix) -> Vec<u32> {
+    m.iter().map(|v| v.to_bits()).collect()
+}
+
+// Sparse kernels vs their dense reference paths, and thread-count
+// invariance of every parallel kernel. These are the contracts the GNN
+// layers rely on: the CSR aggregation must reproduce the seed's dense
+// `normalise + matmul` pipeline *bit for bit*, at any worker count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_spmm_matches_dense_matmul_bitwise(
+        seed in 0u64..1000, r in 1usize..30, k in 1usize..30, c in 1usize..8,
+    ) {
+        use fare_rt::rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fare_tensor::Matrix::from_fn(r, k, |_, _| {
+            if rng.gen_bool(0.4) {
+                rng.gen_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        });
+        let x = fare_tensor::init::normal(k, c, 1.0, &mut rng);
+        let sparse = fare_graph::CsrMatrix::from_dense(&a);
+        prop_assert_eq!(bits(&sparse.spmm(&x)), bits(&a.matmul(&x)));
+    }
+
+    #[test]
+    fn gcn_aggregate_matches_dense_path_bitwise(
+        seed in 0u64..1000, n in 2usize..40, p in 0.0f64..0.6, d in 1usize..6,
+    ) {
+        let g = random_graph(seed, n, p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 9);
+        let x = fare_tensor::init::normal(n, d, 1.0, &mut rng);
+        let dense = fare_tensor::ops::gcn_normalise(&g.to_dense()).matmul(&x);
+        prop_assert_eq!(bits(&g.gcn_aggregate(&x)), bits(&dense));
+    }
+
+    #[test]
+    fn mean_aggregate_matches_dense_path_bitwise(
+        seed in 0u64..1000, n in 2usize..40, p in 0.0f64..0.6, d in 1usize..6,
+    ) {
+        let g = random_graph(seed, n, p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 10);
+        let x = fare_tensor::init::normal(n, d, 1.0, &mut rng);
+        let dense = fare_tensor::ops::row_normalise(&g.to_dense()).matmul(&x);
+        prop_assert_eq!(bits(&g.mean_aggregate(&x)), bits(&dense));
+    }
+
+    #[test]
+    fn graph_view_matches_dense_construction_bitwise(
+        seed in 0u64..1000, n in 2usize..30, p in 0.0f64..0.6, d in 1usize..6,
+    ) {
+        let g = random_graph(seed, n, p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 11);
+        let x = fare_tensor::init::normal(n, d, 1.0, &mut rng);
+        let from_graph = fare_graph::GraphView::from_graph(&g);
+        let from_dense = fare_graph::GraphView::from_dense(g.to_dense());
+        prop_assert_eq!(
+            bits(&from_graph.gcn_norm().spmm(&x)),
+            bits(&from_dense.gcn_norm().spmm(&x))
+        );
+        prop_assert_eq!(
+            bits(&from_graph.mean_norm().spmm(&x)),
+            bits(&from_dense.mean_norm().spmm(&x))
+        );
+        prop_assert_eq!(
+            bits(&from_graph.mean_norm_t().spmm(&x)),
+            bits(&from_dense.mean_norm_t().spmm(&x))
+        );
+    }
+
+    #[test]
+    fn aggregation_kernels_thread_invariant(
+        seed in 0u64..1000, n in 2usize..50, p in 0.0f64..0.4, d in 1usize..8,
+    ) {
+        let g = random_graph(seed, n, p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 12);
+        let x = fare_tensor::init::normal(n, d, 1.0, &mut rng);
+        let m = fare_graph::CsrMatrix::from_dense(&g.to_dense());
+        let run = |t: usize| {
+            fare_rt::par::set_threads(t);
+            (g.spmm(&x), g.gcn_aggregate(&x), g.mean_aggregate(&x), m.spmm(&x))
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        fare_rt::par::set_threads(0);
+        for (serial, par) in [(&one, &two), (&one, &eight)] {
+            prop_assert_eq!(bits(&serial.0), bits(&par.0));
+            prop_assert_eq!(bits(&serial.1), bits(&par.1));
+            prop_assert_eq!(bits(&serial.2), bits(&par.2));
+            prop_assert_eq!(bits(&serial.3), bits(&par.3));
+        }
+    }
+}

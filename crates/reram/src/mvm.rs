@@ -84,33 +84,61 @@ pub fn crossbar_mvm(fabric: &WeightFabric, weights: &Matrix, x: &[f32]) -> MvmOu
     let cycles = input_bits * CELLS_PER_WORD;
 
     let mut output = vec![0.0f32; cols];
-    for c in 0..cols {
-        let mut acc = 0.0f64;
-        for r in 0..rows {
-            // Magnitude × magnitude with signs from the sign bits —
-            // exactly what the differential crossbar pair computes.
-            acc += stored[(r, c)] as f64 * x_q[r] as f64;
-        }
-        output[c] = acc as f32;
-    }
+    accumulate_columns(&stored, &x_q, &mut output);
     let _ = BITS_PER_CELL; // slices are folded into `stored`'s corruption
     MvmOutput { output, cycles }
 }
 
+/// `out[c] = Σᵣ stored[(r, c)] · x_q[r]`, walking the stored weights
+/// row-major — one sequential pass over the matrix instead of `cols`
+/// strided column scans. Each column still accumulates in ascending-row
+/// order in f64, so the result is bit-identical to the column-major loop.
+fn accumulate_columns(stored: &Matrix, x_q: &[f32], out: &mut [f32]) {
+    let mut acc = vec![0.0f64; out.len()];
+    for (r, &xv) in x_q.iter().enumerate() {
+        let xv = xv as f64;
+        // Magnitude × magnitude with signs from the sign bits —
+        // exactly what the differential crossbar pair computes.
+        for (a, &wv) in acc.iter_mut().zip(stored.row(r)) {
+            *a += wv as f64 * xv;
+        }
+    }
+    for (o, a) in out.iter_mut().zip(acc) {
+        *o = a as f32;
+    }
+}
+
 /// Full matrix–matrix product through the fabric, column-batched MVMs:
 /// `out = input · W` where `W` lives on the fabric.
+///
+/// The fault corruption and the output rows are independent of the input
+/// row being driven, so the stored weights are materialised **once** per
+/// call (not once per input row as a naive loop over [`crossbar_mvm`]
+/// would) and the rows are computed in parallel across the `fare-rt`
+/// worker pool. Corruption is deterministic, so the result is
+/// bit-identical to per-row [`crossbar_mvm`] calls at any thread count.
 ///
 /// # Panics
 ///
 /// Same conditions as [`crossbar_mvm`] per row of `input`.
 pub fn crossbar_matmul(fabric: &WeightFabric, weights: &Matrix, input: &Matrix) -> Matrix {
     let (rows, cols) = fabric.shape();
+    assert_eq!(
+        weights.shape(),
+        (rows, cols),
+        "weight shape mismatch with fabric"
+    );
     assert_eq!(input.cols(), rows, "input width must equal weight rows");
+    let fmt = fabric.format();
+    let stored = fabric.corrupt(weights);
     let mut out = Matrix::zeros(input.rows(), cols);
-    for i in 0..input.rows() {
-        let y = crossbar_mvm(fabric, weights, input.row(i));
-        out.row_mut(i).copy_from_slice(&y.output);
+    if cols == 0 {
+        return out;
     }
+    fare_rt::par::par_row_chunks(out.as_mut_slice(), cols, |i, out_row| {
+        let x_q: Vec<f32> = input.row(i).iter().map(|&v| fmt.quantise(v)).collect();
+        accumulate_columns(&stored, &x_q, out_row);
+    });
     out
 }
 

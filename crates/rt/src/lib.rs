@@ -7,7 +7,7 @@
 //! | module          | replaces     | surface                                    |
 //! |-----------------|--------------|--------------------------------------------|
 //! | [`rand`]        | `rand` 0.8   | `StdRng`, `Rng`, `SeedableRng`, `RngCore`, `seq::SliceRandom` |
-//! | [`par`]         | `rayon`      | `par_iter` / `into_par_iter` → map/sum/collect on scoped threads |
+//! | [`par`]         | `rayon`      | persistent worker pool: `par_iter` / `into_par_iter` map/sum/collect + `par_row_chunks` row partitioning |
 //! | [`json`]        | `serde` + `serde_json` | [`json::Json`] value, parser, serializer, `ToJson`/`FromJson` + impl macros |
 //! | [`prop`]        | `proptest`   | seeded, shrink-free `proptest!` macro + `Strategy` combinators |
 //! | [`bench`]       | `criterion`  | `std::time`-based `criterion_group!`/`criterion_main!` harness |
@@ -16,7 +16,11 @@
 //! (and any thread count) produce bit-identical results, which is what
 //! makes the FARe fault-injection experiments reproducible.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide except for the single audited lifetime
+// erasure inside `par::pool` (the persistent worker pool shares
+// stack-borrowed batch state with pool threads, exactly like
+// `std::thread::scope` / `rayon` do internally).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

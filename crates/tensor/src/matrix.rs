@@ -272,22 +272,26 @@ impl Matrix {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let mut out = Self::zeros(self.rows, rhs.cols);
+        let lhs_data = &self.data;
+        let lhs_cols = self.cols;
+        let rhs_data = &rhs.data;
+        let rhs_cols = rhs.cols;
         // i-k-j loop order keeps the inner loop contiguous for both the
         // output row and the rhs row, which matters for the large
-        // feature-matrix products in GNN training.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+        // feature-matrix products in GNN training. Output rows are
+        // disjoint, so the row partition is bit-identical for any thread
+        // count. The inner loop is branch-free: sparse operands go
+        // through `CsrMatrix::spmm`, dense ones would mispredict a
+        // zero-skip here.
+        fare_rt::par::par_row_chunks(&mut out.data, rhs_cols, |i, out_row| {
+            for k in 0..lhs_cols {
+                let a = lhs_data[i * lhs_cols + k];
+                let rhs_row = &rhs_data[k * rhs_cols..(k + 1) * rhs_cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -313,19 +317,23 @@ impl Matrix {
             rhs.shape()
         );
         let mut out = Self::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+        let lhs_data = &self.data;
+        let lhs_cols = self.cols;
+        let rhs_data = &rhs.data;
+        let rhs_cols = rhs.cols;
+        let inner = self.rows;
+        // Output-row-outer so each out row is owned by one worker; the
+        // per-row accumulation order (ascending k) matches the previous
+        // k-outer formulation element for element.
+        fare_rt::par::par_row_chunks(&mut out.data, rhs_cols, |i, out_row| {
+            for k in 0..inner {
+                let a = lhs_data[k * lhs_cols + i];
+                let rhs_row = &rhs_data[k * rhs_cols..(k + 1) * rhs_cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -342,17 +350,21 @@ impl Matrix {
             rhs.shape()
         );
         let mut out = Self::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+        let lhs_data = &self.data;
+        let lhs_cols = self.cols;
+        let rhs_data = &rhs.data;
+        let rhs_rows = rhs.rows;
+        fare_rt::par::par_row_chunks(&mut out.data, rhs_rows, |i, out_row| {
+            let lhs_row = &lhs_data[i * lhs_cols..(i + 1) * lhs_cols];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let rhs_row = &rhs_data[j * lhs_cols..(j + 1) * lhs_cols];
                 let mut acc = 0.0;
                 for (&a, &b) in lhs_row.iter().zip(rhs_row) {
                     acc += a * b;
                 }
-                out.data[i * rhs.rows + j] = acc;
+                *o = acc;
             }
-        }
+        });
         out
     }
 

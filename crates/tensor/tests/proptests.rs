@@ -146,3 +146,47 @@ proptest! {
         }
     }
 }
+
+/// Bitwise view of a matrix so thread-count comparisons catch even a
+/// single reordered floating-point reduction.
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.iter().map(|v| v.to_bits()).collect()
+}
+
+// The dense matmul family runs on the fare-rt worker pool, partitioned
+// by disjoint output rows. That partitioning must keep results
+// bit-identical at every thread count (C-DETERMINISM).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_family_thread_invariant(
+        dims in (1usize..20, 1usize..20, 1usize..20),
+        seed in 0u64..1000,
+    ) {
+        use fare_rt::rand::{Rng, SeedableRng};
+        let (m, k, n) = dims;
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-2.0f32..2.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-2.0f32..2.0));
+        let at = a.transpose();
+        let bt = b.transpose();
+        let run = |t: usize| {
+            fare_rt::par::set_threads(t);
+            (a.matmul(&b), at.t_matmul(&b), a.matmul_t(&bt))
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        fare_rt::par::set_threads(0);
+        for par in [&two, &eight] {
+            prop_assert_eq!(bits(&one.0), bits(&par.0));
+            prop_assert_eq!(bits(&one.1), bits(&par.1));
+            prop_assert_eq!(bits(&one.2), bits(&par.2));
+        }
+        // The three formulations share one accumulation order, so they
+        // agree bitwise with each other too.
+        prop_assert_eq!(bits(&one.0), bits(&one.1));
+        prop_assert_eq!(bits(&one.0), bits(&one.2));
+    }
+}

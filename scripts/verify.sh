@@ -32,4 +32,16 @@ cargo build --offline --workspace --all-targets
 echo "==> offline test suite"
 cargo test -q --offline --workspace
 
+echo "==> determinism suite across thread counts"
+# The compute core promises bit-identical results at any worker count;
+# run the determinism suite under both a serial and a parallel pool.
+FARE_RT_THREADS=1 cargo test -q --offline --test determinism
+FARE_RT_THREADS=4 cargo test -q --offline --test determinism
+
+echo "==> compute-core bench smoke"
+BENCH_TMP="$(mktemp /tmp/bench_core.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP"' EXIT
+cargo run -q --offline -p fare-bench --bin bench_core -- \
+    --smoke --nodes 600 --out "$BENCH_TMP"
+
 echo "==> verify OK"

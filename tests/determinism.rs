@@ -88,3 +88,51 @@ fn training_identical_across_thread_counts() {
     }
     assert_eq!(one, four);
 }
+
+/// Every parallel compute kernel — the dense matmul family, the sparse
+/// aggregation kernels, and the crossbar matmul — produces bit-identical
+/// output at 1, 2 and 8 threads. All of them partition work by disjoint
+/// output rows, so no floating-point reduction can be reordered.
+#[test]
+fn compute_kernels_identical_across_thread_counts() {
+    use fare::graph::{generate, CsrMatrix, GraphView};
+    use fare::reram::mvm::crossbar_matmul;
+    use fare::reram::weights::WeightFabric;
+    use fare::reram::FaultSpec as Spec;
+    use fare::tensor::{init, FixedFormat};
+    use fare_rt::rand::{Rng, SeedableRng};
+
+    let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(31);
+    let g = generate::erdos_renyi(64, 0.1, &mut rng);
+    let x = init::normal(64, 12, 1.0, &mut rng);
+    let a = Matrix::from_fn(33, 17, |_, _| rng.gen_range(-1.0f32..1.0));
+    let b = Matrix::from_fn(17, 9, |_, _| rng.gen_range(-1.0f32..1.0));
+    let mut fabric = WeightFabric::for_shape(17, 9, 16, FixedFormat::default());
+    fabric.inject(&Spec::density(0.05), &mut rng);
+    let view = GraphView::from_graph(&g);
+    let sparse = CsrMatrix::from_dense(&g.to_dense());
+
+    let bits = |m: &Matrix| m.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    let run = |t: usize| {
+        fare_rt::par::set_threads(t);
+        [
+            a.matmul(&b),
+            a.transpose().t_matmul(&b),
+            a.matmul_t(&b.transpose()),
+            g.spmm(&x),
+            g.gcn_aggregate(&x),
+            g.mean_aggregate(&x),
+            sparse.spmm(&x),
+            view.gcn_norm().spmm(&x),
+            crossbar_matmul(&fabric, &b, &a),
+        ]
+    };
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    fare_rt::par::set_threads(0);
+    for (k, serial) in one.iter().enumerate() {
+        assert_eq!(bits(serial), bits(&two[k]), "kernel {k} differs at 2 threads");
+        assert_eq!(bits(serial), bits(&eight[k]), "kernel {k} differs at 8 threads");
+    }
+}

@@ -83,7 +83,7 @@ fn faulty_reader_equals_ideal_reader_when_fault_free() {
     let model = Gnn::new(ModelKind::Sage, dims, &mut rng);
     let reader = FaultyWeightReader::for_model(&model, 16);
     let adj = Matrix::from_fn(6, 6, |i, j| if (i + 1) % 6 == j { 1.0 } else { 0.0 });
-    let adj = &adj + &adj.transpose();
+    let adj = fare::graph::GraphView::from_dense(&adj + &adj.transpose());
     let x = Matrix::from_fn(6, 8, |i, j| ((i * 8 + j) as f32 * 0.21).cos());
     let (faulty_logits, _) = model.forward(&adj, &x, &reader);
     let (ideal_logits, _) = model.forward(&adj, &x, &IdealReader);

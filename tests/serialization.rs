@@ -67,11 +67,11 @@ fn model_round_trips_and_still_runs() {
         let back: Gnn = fare_rt::json::from_str(&json).expect("deserialises");
         assert_eq!(back, model);
         // The restored model computes identically (edge checkpointing).
-        let adj = Matrix::from_rows(&[
+        let adj = fare::graph::GraphView::from_dense(Matrix::from_rows(&[
             &[0.0, 1.0, 0.0],
             &[1.0, 0.0, 1.0],
             &[0.0, 1.0, 0.0],
-        ]);
+        ]));
         let x = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as f32 * 0.3).sin());
         let (a, _) = model.forward(&adj, &x, &fare::gnn::IdealReader);
         let (b, _) = back.forward(&adj, &x, &fare::gnn::IdealReader);
