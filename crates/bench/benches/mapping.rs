@@ -7,7 +7,8 @@
 
 use fare_rt::bench::{criterion_group, criterion_main, Criterion};
 use fare_core::mapping::{
-    map_adjacency, refresh_row_permutations, sequential_mapping, MappingConfig,
+    map_adjacency, map_adjacency_cached, reference, refresh_row_permutations,
+    refresh_row_permutations_cached, sequential_mapping, MappingConfig, RemapCache,
 };
 use fare_matching::Matcher;
 use fare_reram::{CrossbarArray, FaultSpec};
@@ -66,6 +67,21 @@ fn bench_mapping(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fast path against the pre-fast-path full `n × n` pipeline it
+/// replaced (kept in `fare_core::mapping::reference`).
+fn bench_fast_path(c: &mut Criterion) {
+    let (adj, array) = setup(96, 16, 0.05);
+    let cfg = MappingConfig::default();
+    let mut group = c.benchmark_group("fast_path");
+    group.bench_function("map_adjacency_full_nxn", |b| {
+        b.iter(|| black_box(reference::map_adjacency_full(black_box(&adj), &array, &cfg)))
+    });
+    group.bench_function("map_adjacency_fast", |b| {
+        b.iter(|| black_box(map_adjacency(black_box(&adj), &array, &cfg)))
+    });
+    group.finish();
+}
+
 fn bench_post_deployment(c: &mut Criterion) {
     let (adj, mut array) = setup(96, 16, 0.03);
     let cfg = MappingConfig::default();
@@ -88,12 +104,28 @@ fn bench_post_deployment(c: &mut Criterion) {
             ))
         })
     });
+    group.bench_function("row_perm_refresh_cached", |b| {
+        // Warm the cache against the post-injection array once: the
+        // steady-state BIST epoch where few crossbars mutated.
+        let mut cache = RemapCache::new();
+        let mapping = map_adjacency_cached(&adj, &array, &cfg, &mut cache);
+        b.iter(|| {
+            let mut warm = cache.clone();
+            black_box(refresh_row_permutations_cached(
+                black_box(&adj),
+                &array,
+                &mapping,
+                Matcher::BSuitor,
+                &mut warm,
+            ))
+        })
+    });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_mapping, bench_post_deployment
+    targets = bench_mapping, bench_fast_path, bench_post_deployment
 }
 criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Mapping-pipeline benchmark: the pre-fast-path full `n × n` Algorithm 1
+//! against the packed/deduped/reduced fast path that replaced it.
+//!
+//! The "pre" numbers replicate the old pipeline faithfully — a full
+//! `n × n` cost matrix per (block, crossbar) pair built with the sparse
+//! per-fault mismatch kernels and solved with the generic edge-list
+//! b-Suitor, parallel over blocks only — via
+//! [`fare_core::mapping::reference::map_adjacency_full`]. The "post"
+//! numbers drive the production [`fare_core::map_adjacency`]: bitset
+//! mismatch kernels, faulty-rows-only `f × n` instances, (block-class,
+//! fault-class) deduplication, and pair-level parallelism. Before
+//! anything is timed the fast path is checked bit-identical to the
+//! serial reduced oracle, and the refresh paths are checked against the
+//! serial refresh oracle.
+//!
+//! ```text
+//! cargo run --release -p fare-bench --bin bench_mapping -- \
+//!     [--nodes N] [--xbar-size N] [--density D] [--iters N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_mapping.json`) with old/new
+//! entries side by side plus the headline `map_adjacency` speedup and
+//! the post-deployment refresh speedup (full re-solve → incremental
+//! cached refresh).
+
+use std::time::Instant;
+
+use fare_bench::string_flag;
+use fare_core::mapping::{self, reference};
+use fare_core::{map_adjacency, refresh_row_permutations_cached, MappingConfig, RemapCache};
+use fare_matching::Matcher;
+use fare_reram::{CrossbarArray, FaultSpec, StuckPolarity};
+use fare_rt::rand::rngs::StdRng;
+use fare_rt::rand::{Rng, SeedableRng};
+use fare_tensor::Matrix;
+
+struct BenchEntry {
+    kernel: String,
+    size: String,
+    ns_per_iter: f64,
+    threads: u64,
+}
+fare_rt::json_struct!(BenchEntry {
+    kernel,
+    size,
+    ns_per_iter,
+    threads
+});
+
+struct BenchReport {
+    results: Vec<BenchEntry>,
+    /// Full-pipeline time / fast-path time for one `map_adjacency`.
+    speedup_map_adjacency: f64,
+    /// Full per-placement re-solve / incremental cached refresh after a
+    /// sparse post-deployment injection.
+    speedup_refresh: f64,
+}
+fare_rt::json_struct!(BenchReport {
+    results,
+    speedup_map_adjacency,
+    speedup_refresh
+});
+
+/// Random symmetric 0/1 adjacency with average degree `avg_degree` —
+/// the sparsity regime GNN batch adjacencies actually live in (matches
+/// `bench_core`'s graph generator).
+fn random_adjacency(nodes: usize, avg_degree: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj = Matrix::zeros(nodes, nodes);
+    let edges = nodes * avg_degree / 2;
+    for _ in 0..edges {
+        let i = rng.gen_range(0..nodes);
+        let j = rng.gen_range(0..nodes);
+        if i != j {
+            adj[(i, j)] = 1.0;
+            adj[(j, i)] = 1.0;
+        }
+    }
+    adj
+}
+
+/// Times `f` over `iters` runs (after one untimed warmup) in ns/iter.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Single timed run, no warmup — for the slow baseline whose one
+/// execution already dominates the budget.
+fn time_once(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let nodes: usize = string_flag("--nodes")
+        .map(|v| v.parse().expect("numeric --nodes"))
+        .unwrap_or(if smoke { 256 } else { 2_048 });
+    let n: usize = string_flag("--xbar-size")
+        .map(|v| v.parse().expect("numeric --xbar-size"))
+        .unwrap_or(if smoke { 32 } else { 128 });
+    let density: f64 = string_flag("--density")
+        .map(|v| v.parse().expect("numeric --density"))
+        .unwrap_or(0.05);
+    let iters: usize = string_flag("--iters")
+        .map(|v| v.parse().expect("numeric --iters"))
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let out_path = string_flag("--out").unwrap_or_else(|| "BENCH_mapping.json".into());
+    let threads = fare_rt::par::current_threads() as u64;
+
+    // The ISSUE reference config: b-Suitor, pruning on, 50% crossbar
+    // slack, 5% fault density.
+    let cfg = MappingConfig {
+        matcher: Matcher::BSuitor,
+        ..MappingConfig::default()
+    };
+    let blocks = nodes.div_ceil(n).pow(2);
+    let m = (blocks * 3) / 2;
+    eprintln!(
+        "setup: {nodes}-node adjacency, {blocks} blocks on {m} {n}x{n} crossbars, \
+         {:.0}% fault density, b-Suitor",
+        density * 100.0
+    );
+    let adj = random_adjacency(nodes, 20, 11);
+    let mut array = CrossbarArray::new(m, n);
+    let mut rng = StdRng::seed_from_u64(11);
+    array.inject(&FaultSpec::density(density), &mut rng);
+    let size = format!("nodes={nodes},blocks={blocks},xbars={m}x{n},density={density}");
+
+    // The fast path must be bit-identical to the serial reduced oracle
+    // before we time anything.
+    let fast = map_adjacency(&adj, &array, &cfg);
+    let oracle = reference::map_adjacency(&adj, &array, &cfg);
+    assert!(fast == oracle, "fast path diverges from the serial oracle");
+
+    eprintln!("timing full n x n pipeline (1 run)...");
+    let pre_ns = time_once(|| {
+        std::hint::black_box(reference::map_adjacency_full(&adj, &array, &cfg));
+    });
+    eprintln!("timing fast path ({iters} iters)...");
+    let post_ns = time_ns(iters, || {
+        std::hint::black_box(map_adjacency(&adj, &array, &cfg));
+    });
+
+    // Post-deployment refresh: a sparse BIST delta touches a handful of
+    // crossbars; the incremental path re-solves only those.
+    let mut cache = RemapCache::new();
+    let mapping = mapping::map_adjacency_cached(&adj, &array, &cfg, &mut cache);
+    let touched = (m / 50).max(1);
+    for k in 0..touched {
+        let xi = (k * 37) % m;
+        let r = (k * 13) % n;
+        let c = (k * 29) % n;
+        let pol = if k % 2 == 0 {
+            StuckPolarity::StuckAtOne
+        } else {
+            StuckPolarity::StuckAtZero
+        };
+        array.crossbar_mut(xi).inject_fault(r, c, pol);
+    }
+    // `cache` was warmed before the delta; keep that state around so
+    // every timed iteration measures the same thing — the first
+    // post-BIST refresh, where only the `touched` crossbars miss.
+    let pre_delta_cache = cache.clone();
+    let incr = refresh_row_permutations_cached(&adj, &array, &mapping, cfg.matcher, &mut cache);
+    let refreshed_oracle = reference::refresh_row_permutations(&adj, &array, &mapping, cfg.matcher);
+    assert!(
+        incr == refreshed_oracle,
+        "incremental refresh diverges from the serial oracle"
+    );
+
+    eprintln!("timing full refresh (1 run)...");
+    let refresh_pre_ns = time_once(|| {
+        std::hint::black_box(reference::refresh_row_permutations_full(
+            &adj,
+            &array,
+            &mapping,
+            cfg.matcher,
+        ));
+    });
+    eprintln!("timing incremental cached refresh ({iters} iters)...");
+    let refresh_post_ns = time_ns(iters, || {
+        let mut warm = pre_delta_cache.clone();
+        std::hint::black_box(refresh_row_permutations_cached(
+            &adj,
+            &array,
+            &mapping,
+            cfg.matcher,
+            &mut warm,
+        ));
+    });
+
+    let speedup = pre_ns / post_ns;
+    let refresh_speedup = refresh_pre_ns / refresh_post_ns;
+    let report = BenchReport {
+        results: vec![
+            BenchEntry {
+                kernel: "map_adjacency_full_nxn".into(),
+                size: size.clone(),
+                ns_per_iter: pre_ns,
+                threads,
+            },
+            BenchEntry {
+                kernel: "map_adjacency_fast_path".into(),
+                size: size.clone(),
+                ns_per_iter: post_ns,
+                threads,
+            },
+            BenchEntry {
+                kernel: "refresh_full_resolve".into(),
+                size: size.clone(),
+                ns_per_iter: refresh_pre_ns,
+                threads,
+            },
+            BenchEntry {
+                kernel: "refresh_incremental_cached".into(),
+                size,
+                ns_per_iter: refresh_post_ns,
+                threads,
+            },
+        ],
+        speedup_map_adjacency: speedup,
+        speedup_refresh: refresh_speedup,
+    };
+
+    for e in &report.results {
+        println!(
+            "{:<28} {:<52} {:>16.0} ns/iter  ({} threads)",
+            e.kernel, e.size, e.ns_per_iter, e.threads
+        );
+    }
+    println!("speedup (map_adjacency, full n x n -> fast path): {speedup:.1}x");
+    println!("speedup (refresh, full re-solve -> incremental): {refresh_speedup:.1}x");
+
+    let json = fare_rt::json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -54,6 +54,9 @@ mod trainer;
 pub use faulty::{
     corrupt_adjacency_mapped, corrupt_adjacency_unaware, FaultyWeightReader,
 };
-pub use mapping::{map_adjacency, refresh_row_permutations, BlockPlacement, Mapping, MappingConfig};
+pub use mapping::{
+    map_adjacency, map_adjacency_cached, refresh_row_permutations,
+    refresh_row_permutations_cached, BlockPlacement, Mapping, MappingConfig, RemapCache,
+};
 pub use strategy::FaultStrategy;
 pub use trainer::{run_fault_free, EpochStats, TrainConfig, TrainOutcome, Trainer};

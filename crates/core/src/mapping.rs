@@ -16,11 +16,50 @@
 //! crossbar is removed from the pool (when crossbars are plentiful) or
 //! the sparsest block is deferred (when they are not), giving the
 //! optimiser more freedom.
+//!
+//! # Fast path
+//!
+//! The `G₁` instance only mentions *faulty* physical rows: a fault-free
+//! physical row stores every value exactly, so pairing it with any
+//! logical row costs 0. The canonical solver therefore builds an `f × n`
+//! cost matrix (`f` = number of faulty rows) instead of `n × n`, assigns
+//! each faulty physical row a logical block row, and completes the
+//! permutation by zipping the remaining logical rows (ascending) with the
+//! fault-free physical rows (ascending) at cost 0. The cost table itself
+//! is built by sparse deltas instead of per-entry popcounts: each entry
+//! decomposes as `cost(k, l) = sa1cnt(k) + |sa0(k) ∩ row(l)| −
+//! |sa1(k) ∩ row(l)|`, a per-physical-row constant plus ±1 per (fault
+//! cell, set block bit) incidence, walked through a transposed column
+//! index of the packed block ([`fare_reram::PackedRows`]). For the
+//! paper's default b-Suitor matcher the instance is then solved by a
+//! level-greedy matching over the same base/deviant split — exactly the
+//! b-Suitor assignment, because with all preferences derived from the
+//! common edge order `(cost, row, col)` the suitor fixed point *is* the
+//! greedy matching by that order (see `G1Scratch::greedy_assign`).
+//!
+//! On top of the reduced kernel, [`map_adjacency`] deduplicates work by
+//! *content classes*: blocks with identical bit patterns and crossbars
+//! with identical fault planes share a single `G₁` solution, and the
+//! unique (block-class, fault-class) pairs are solved on the worker pool
+//! with per-worker solver scratch. [`RemapCache`] extends the same idea
+//! across BIST epochs: a (block, crossbar) pair whose fault state is
+//! unchanged (checked via [`Crossbar::fault_version`]) reuses its stored
+//! permutation instead of re-solving.
+//!
+//! The [`reference`] module keeps a naive serial implementation of the
+//! same semantics (the oracle the property tests pin the fast path
+//! against) plus the original full `n × n` pipeline used as the benchmark
+//! baseline.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use fare_matching::{CostMatrix, Matcher};
-use fare_reram::{Crossbar, CrossbarArray};
-use fare_tensor::Matrix;
+use fare_reram::{Crossbar, CrossbarArray, PackedRows, StuckPolarity};
+use fare_rt::json::{field, FromJson, Json, JsonError, ToJson};
 use fare_rt::par::prelude::*;
+use fare_rt::par::{scoped_map, scoped_map_init};
+use fare_tensor::Matrix;
 
 /// Configuration of the mapping algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,16 +137,62 @@ pub struct BlockPlacement {
 fare_rt::json_struct!(BlockPlacement { block_row, block_col, crossbar, row_perm, mismatch_cost, sa1_cost });
 
 /// A complete fault-aware mapping `Π` of one adjacency matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Mapping {
     n: usize,
     grid: usize,
     placements: Vec<BlockPlacement>,
+    /// `grid × grid` row-major lookup: placement index of block
+    /// `(br, bc)`, or `u32::MAX` when absent. Derived; rebuilt on load.
+    index: Vec<u32>,
 }
 
-fare_rt::json_struct!(Mapping { n, grid, placements });
+impl PartialEq for Mapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.grid == other.grid && self.placements == other.placements
+    }
+}
+
+impl ToJson for Mapping {
+    fn to_json(&self) -> Json {
+        // Serialise only the semantic fields; the lookup index is
+        // rebuilt on load.
+        Json::Obj(vec![
+            ("n".to_string(), self.n.to_json()),
+            ("grid".to_string(), self.grid.to_json()),
+            ("placements".to_string(), self.placements.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Mapping {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let n: usize = field(v, "n")?;
+        let grid: usize = field(v, "grid")?;
+        let placements: Vec<BlockPlacement> = field(v, "placements")?;
+        Ok(Mapping::new(n, grid, placements))
+    }
+}
 
 impl Mapping {
+    /// Builds a mapping, sorting placements into canonical
+    /// `(block_row, block_col)` order and indexing them for O(1) lookup.
+    fn new(n: usize, grid: usize, mut placements: Vec<BlockPlacement>) -> Self {
+        placements.sort_by_key(|p| (p.block_row, p.block_col));
+        let mut index = vec![u32::MAX; grid * grid];
+        for (k, p) in placements.iter().enumerate() {
+            if p.block_row < grid && p.block_col < grid {
+                index[p.block_row * grid + p.block_col] = k as u32;
+            }
+        }
+        Self {
+            n,
+            grid,
+            placements,
+            index,
+        }
+    }
+
     /// Crossbar dimension the mapping targets.
     pub fn n(&self) -> usize {
         self.n
@@ -145,52 +230,382 @@ impl Mapping {
         if self.grid == 0 {
             return 0.0;
         }
+        // Single pass: per block-row, count distinct tiles as they appear
+        // (block-rows hold at most `grid` tiles, so a linear scan of the
+        // per-row tile list beats hashing).
+        let mut tiles: Vec<Vec<usize>> = vec![Vec::new(); self.grid];
         let mut total_extra = 0usize;
-        for br in 0..self.grid {
-            let tiles: std::collections::HashSet<usize> = self
-                .placements
-                .iter()
-                .filter(|p| p.block_row == br)
-                .map(|p| p.crossbar / crossbars_per_tile)
-                .collect();
-            total_extra += tiles.len().saturating_sub(1);
+        for p in &self.placements {
+            if p.block_row >= self.grid {
+                continue;
+            }
+            let tile = p.crossbar / crossbars_per_tile;
+            let seen = &mut tiles[p.block_row];
+            if !seen.contains(&tile) {
+                if !seen.is_empty() {
+                    total_extra += 1;
+                }
+                seen.push(tile);
+            }
         }
         total_extra as f64 / self.grid as f64
     }
 
-    /// Placement of block `(block_row, block_col)`, if present.
+    /// Placement of block `(block_row, block_col)`, if present. O(1).
     pub fn placement_for(&self, block_row: usize, block_col: usize) -> Option<&BlockPlacement> {
-        self.placements
-            .iter()
-            .find(|p| p.block_row == block_row && p.block_col == block_col)
+        if block_row >= self.grid || block_col >= self.grid {
+            return None;
+        }
+        let k = self.index[block_row * self.grid + block_col];
+        if k == u32::MAX {
+            None
+        } else {
+            Some(&self.placements[k as usize])
+        }
     }
 }
 
-/// Solves the `G₁` row-permutation matching of one block onto one
-/// crossbar. Returns `(perm, mismatch_cost, sa1_cost)`.
-fn solve_row_permutation(
-    block: &Matrix,
+/// `(row_perm, mismatch_cost, sa1_cost)` of one solved `G₁` instance.
+type PairSolution = (Vec<usize>, usize, usize);
+
+/// Reusable per-worker scratch for the `G₁` pair solves: the integer
+/// cost table, the per-row deviant index, the level set, and the
+/// matching state survive across pair solves so the hot loop allocates
+/// nothing (cost-only solves) or only the output permutation.
+#[derive(Default)]
+struct G1Scratch {
+    /// `f × n` cost table, row-major.
+    costs: Vec<u32>,
+    /// CSR offsets into `dev_cols`: instance row `k`'s deviant columns
+    /// (entries whose cost differs from — or was touched away from and
+    /// back to — row `k`'s base) live at `dev_cols[dev_start[k]..dev_start[k + 1]]`.
+    dev_start: Vec<u32>,
+    /// Deviant column ids, ascending within each row, deduplicated.
+    dev_cols: Vec<u32>,
+    /// Per-row collection buffer for deviants before sort/dedup.
+    dev_tmp: Vec<u32>,
+    /// Bit `v` set iff some entry (base or deviant) has cost `v < 64`.
+    level_mask: u64,
+    /// Cost levels `≥ 64` (rare: a row with 64+ SA1 cells).
+    level_spill: Vec<u32>,
+    /// Row → column assignment of the greedy matching.
+    assign: Vec<u32>,
+    /// Column-taken flags.
+    used: Vec<bool>,
+    is_faulty: Vec<bool>,
+}
+
+/// Transposed one-bit index of a packed block: for each column, the
+/// ascending list of block rows with that bit set. Built once per block
+/// (or block class) and reused against every crossbar, it turns the
+/// `f × n` cost build into sparse deltas — each fault cell `(c, pol)`
+/// touches only the rows listed under column `c`.
+struct BlockColIdx {
+    starts: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl BlockColIdx {
+    fn build(packed: &PackedRows) -> Self {
+        let n = packed.rows();
+        let cols = packed.cols();
+        let mut starts = vec![0u32; cols + 2];
+        for l in 0..n {
+            for (w, &word) in packed.row(l).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let c = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    starts[c + 2] += 1;
+                }
+            }
+        }
+        for i in 2..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        // `starts[c + 1]` is now column c's write cursor; after the fill
+        // it has advanced to the final `starts[c + 1]` boundary.
+        let mut rows = vec![0u32; starts[cols + 1] as usize];
+        for l in 0..n {
+            for (w, &word) in packed.row(l).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let c = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let cursor = &mut starts[c + 1];
+                    rows[*cursor as usize] = l as u32;
+                    *cursor += 1;
+                }
+            }
+        }
+        starts.pop();
+        Self { starts, rows }
+    }
+
+    /// Block rows (ascending) whose bit in column `c` is set.
+    fn col(&self, c: usize) -> &[u32] {
+        &self.rows[self.starts[c] as usize..self.starts[c + 1] as usize]
+    }
+}
+
+/// Per-crossbar (or per-fault-class) context for [`solve_reduced_g1`]:
+/// the faulty physical rows and each one's SA1 count — the *base cost* a
+/// block row with no bits under that row's fault cells pays.
+struct XbarG1Ctx {
+    faulty: Vec<usize>,
+    base: Vec<u32>,
+}
+
+impl XbarG1Ctx {
+    fn build(xbar: &Crossbar) -> Self {
+        let faulty = xbar.faulty_rows();
+        let base = faulty
+            .iter()
+            .map(|&phys| xbar.sa1_row_bits(phys).iter().map(|w| w.count_ones()).sum())
+            .collect();
+        Self { faulty, base }
+    }
+}
+
+impl G1Scratch {
+    /// Builds the `f × n` cost table by sparse deltas rather than
+    /// per-entry popcounts: `cost(k, l) = sa1cnt(k) + |sa0(k) ∩ row(l)|
+    /// − |sa1(k) ∩ row(l)|`, i.e. a per-physical-row constant (`ctx.base`)
+    /// plus ±1 per (fault cell, set block bit) incidence — walked via
+    /// `col_idx`. Intermediate values never dip below zero: deltas for
+    /// one entry subtract at most its SA1 base. Alongside the table it
+    /// records each row's touched ("deviant") columns as a CSR index and
+    /// the set of distinct cost levels present.
+    fn build_costs(&mut self, xbar: &Crossbar, col_idx: &BlockColIdx, ctx: &XbarG1Ctx) {
+        let n = xbar.n();
+        let f = ctx.faulty.len();
+        self.costs.clear();
+        self.costs.resize(f * n, 0);
+        self.dev_start.clear();
+        self.dev_start.push(0);
+        self.dev_cols.clear();
+        self.level_mask = 0;
+        self.level_spill.clear();
+        for (k, &base) in ctx.base.iter().enumerate() {
+            self.costs[k * n..(k + 1) * n].fill(base);
+            if base < 64 {
+                self.level_mask |= 1 << base;
+            } else {
+                self.level_spill.push(base);
+            }
+            self.dev_tmp.clear();
+            for &(c, pol) in xbar.row_faults(ctx.faulty[k]) {
+                // SA0 mismatches stored ones; SA1 is already counted in
+                // the base and mismatches stored zeros — a set bit
+                // cancels it.
+                let delta: i32 = match pol {
+                    StuckPolarity::StuckAtZero => 1,
+                    StuckPolarity::StuckAtOne => -1,
+                };
+                for &l in col_idx.col(c) {
+                    let slot = &mut self.costs[k * n + l as usize];
+                    *slot = slot.wrapping_add_signed(delta);
+                    self.dev_tmp.push(l);
+                }
+            }
+            // Several fault cells can touch the same block row; dedup so
+            // each deviant column appears once, ascending.
+            self.dev_tmp.sort_unstable();
+            self.dev_tmp.dedup();
+            for &l in &self.dev_tmp {
+                let v = self.costs[k * n + l as usize];
+                if v < 64 {
+                    self.level_mask |= 1 << v;
+                } else {
+                    self.level_spill.push(v);
+                }
+            }
+            self.dev_cols.extend_from_slice(&self.dev_tmp);
+            self.dev_start.push(self.dev_cols.len() as u32);
+        }
+        self.level_spill.sort_unstable();
+        self.level_spill.dedup();
+    }
+
+    /// Greedy matching over the edges of the cost table in ascending
+    /// `(cost, row, col)` order, written into `self.assign`.
+    ///
+    /// This produces *exactly* the b-Suitor assignment: every vertex
+    /// ranks its edges by the common total order `(cost, row id, col
+    /// id)`, and with preferences derived from one global edge ranking
+    /// the suitor fixed point is the unique stable matching — the greedy
+    /// matching by that ranking. (Pinned structurally by the matching
+    /// crate's `bsuitor_equals_greedy_by_edge_order` property test and
+    /// end-to-end by the mapping oracles.) Walking levels through the
+    /// base/deviant split costs `O(f·n)` per populated level instead of
+    /// materialising and replaying `2·f·n` proposal orders.
+    fn greedy_assign(&mut self, f: usize, n: usize, base: &[u32]) {
+        self.assign.clear();
+        self.assign.resize(f, u32::MAX);
+        self.used.clear();
+        self.used.resize(n, false);
+        let mut matched = 0usize;
+        let level = |scratch: &mut Self, v: u32, matched: &mut usize| {
+            for k in 0..f {
+                if scratch.assign[k] != u32::MAX {
+                    continue;
+                }
+                let devs = &scratch.dev_cols
+                    [scratch.dev_start[k] as usize..scratch.dev_start[k + 1] as usize];
+                let row = &scratch.costs[k * n..(k + 1) * n];
+                let hit = if base[k] == v {
+                    // Every non-deviant column sits at the base level;
+                    // deviants count only if their net cost is back at
+                    // `v`. First free column in ascending order wins.
+                    let mut di = 0;
+                    let mut found = None;
+                    for (l, &taken) in scratch.used.iter().enumerate() {
+                        let deviant = devs.get(di) == Some(&(l as u32));
+                        if deviant {
+                            di += 1;
+                        }
+                        if !taken && (!deviant || row[l] == v) {
+                            found = Some(l);
+                            break;
+                        }
+                    }
+                    found
+                } else {
+                    devs.iter()
+                        .map(|&l| l as usize)
+                        .find(|&l| !scratch.used[l] && row[l] == v)
+                };
+                if let Some(l) = hit {
+                    scratch.assign[k] = l as u32;
+                    scratch.used[l] = true;
+                    *matched += 1;
+                }
+            }
+        };
+        let mut mask = self.level_mask;
+        while mask != 0 && matched < f {
+            let v = mask.trailing_zeros();
+            mask &= mask - 1;
+            level(self, v, &mut matched);
+        }
+        let spill = std::mem::take(&mut self.level_spill);
+        for &v in &spill {
+            if matched == f {
+                break;
+            }
+            level(self, v, &mut matched);
+        }
+        self.level_spill = spill;
+        debug_assert_eq!(matched, f, "complete bipartite instance matches every row");
+    }
+}
+
+/// Fills `scratch.costs` and `scratch.assign` (instance row `k` →
+/// logical row) for one reduced `G₁` pair. Requires `f > 0`.
+fn g1_assign(
+    col_idx: &BlockColIdx,
     xbar: &Crossbar,
+    ctx: &XbarG1Ctx,
     matcher: Matcher,
-) -> (Vec<usize>, usize, usize) {
-    let n = block.rows();
+    scratch: &mut G1Scratch,
+) {
+    let n = xbar.n();
+    let f = ctx.faulty.len();
+    scratch.build_costs(xbar, col_idx, ctx);
+    match matcher {
+        // The paper's default: greedy by (cost, row, col) ≡ b-Suitor
+        // (see `greedy_assign`).
+        Matcher::BSuitor => scratch.greedy_assign(f, n, &ctx.base),
+        _ => {
+            let costs = &scratch.costs;
+            let cost = CostMatrix::from_row_fn(f, n, |k, row| {
+                for (l, slot) in row.iter_mut().enumerate() {
+                    *slot = costs[k * n + l] as f64;
+                }
+            });
+            let sol = matcher.solve(&cost);
+            scratch.assign.clear();
+            scratch.assign.extend(sol.assignment.iter().map(|assigned| {
+                assigned.expect("reduced G1 assigns every faulty row") as u32
+            }));
+        }
+    }
+}
+
+/// `(mismatch, sa1)` of one reduced `G₁` pair, without materialising the
+/// permutation — the form the `B × X` pair table needs (`G₂` and pruning
+/// consume costs only; full solutions are recomputed for the ~`B` chosen
+/// pairs).
+fn solve_reduced_g1_costs(
+    packed: &PackedRows,
+    col_idx: &BlockColIdx,
+    xbar: &Crossbar,
+    ctx: &XbarG1Ctx,
+    matcher: Matcher,
+    scratch: &mut G1Scratch,
+) -> (usize, usize) {
+    let n = packed.rows();
+    debug_assert_eq!(n, xbar.n(), "block does not fit the crossbar");
+    if ctx.faulty.is_empty() {
+        return (0, 0);
+    }
+    g1_assign(col_idx, xbar, ctx, matcher, scratch);
+    let mut mismatch = 0usize;
+    let mut sa1 = 0usize;
+    for (k, &l) in scratch.assign.iter().enumerate() {
+        let l = l as usize;
+        mismatch += scratch.costs[k * n + l] as usize;
+        sa1 += xbar.row_sa1_mismatch_packed(packed.row(l), ctx.faulty[k]);
+    }
+    (mismatch, sa1)
+}
+
+/// Solves the reduced `f × n` row-permutation matching of one packed
+/// block onto one crossbar (`f` = number of faulty physical rows, in
+/// ascending order inside `ctx`). Returns a full `n`-element permutation:
+/// logical rows not matched to a faulty physical row take the fault-free
+/// physical rows in ascending order at cost 0.
+fn solve_reduced_g1(
+    packed: &PackedRows,
+    col_idx: &BlockColIdx,
+    xbar: &Crossbar,
+    ctx: &XbarG1Ctx,
+    matcher: Matcher,
+    scratch: &mut G1Scratch,
+) -> PairSolution {
+    let n = packed.rows();
+    debug_assert_eq!(n, xbar.n(), "block does not fit the crossbar");
+    let faulty = &ctx.faulty;
+    let f = faulty.len();
     // Fault-free crossbars need no search: identity is optimal (cost 0).
-    if xbar.fault_count() == 0 {
+    if f == 0 {
         return ((0..n).collect(), 0, 0);
     }
-    let cost = CostMatrix::from_fn(n, xbar.n(), |p, q| xbar.row_mismatch(block.row(p), q) as f64);
-    let sol = matcher.solve(&cost);
-    let perm = sol.to_permutation();
-    let mismatch: usize = perm
-        .iter()
-        .enumerate()
-        .map(|(p, &q)| xbar.row_mismatch(block.row(p), q))
-        .sum();
-    let sa1: usize = perm
-        .iter()
-        .enumerate()
-        .map(|(p, &q)| xbar.row_sa1_mismatch(block.row(p), q))
-        .sum();
+    g1_assign(col_idx, xbar, ctx, matcher, scratch);
+
+    let mut perm = vec![usize::MAX; n];
+    let mut mismatch = 0usize;
+    let mut sa1 = 0usize;
+    for (k, &l) in scratch.assign.iter().enumerate() {
+        let l = l as usize;
+        perm[l] = faulty[k];
+        mismatch += scratch.costs[k * n + l] as usize;
+        sa1 += xbar.row_sa1_mismatch_packed(packed.row(l), faulty[k]);
+    }
+    // Cost-0 completion: remaining logical rows (ascending) onto
+    // fault-free physical rows (ascending).
+    scratch.is_faulty.clear();
+    scratch.is_faulty.resize(n, false);
+    for &phys in faulty {
+        scratch.is_faulty[phys] = true;
+    }
+    let is_faulty = &scratch.is_faulty;
+    let mut free = (0..n).filter(move |&q| !is_faulty[q]);
+    for slot in perm.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = free.next().expect("as many fault-free rows as unmatched logical rows");
+        }
+    }
     (perm, mismatch, sa1)
 }
 
@@ -213,61 +628,43 @@ fn ones_count(block: &Matrix) -> usize {
     block.count_where(|v| v > 0.5)
 }
 
-/// Runs Algorithm 1: the fault-aware mapping of `adj` onto `array`.
+/// Shared back half of Algorithm 1: pruning (lines 8–17), the `G₂`
+/// placement over the live sets, and greedy placement of deferred
+/// blocks. Parameterised over how pair costs/solutions are produced so
+/// the fast path (deduplicated class table) and the reference oracle
+/// (naive per-pair table) provably run the identical selection logic.
 ///
-/// Every block ends up placed (blocks the pruning step defers are
-/// greedily placed on leftover crossbars afterwards — the hardware must
-/// store the whole matrix either way).
-///
-/// # Panics
-///
-/// Panics if `adj` is not square/empty, or there are fewer crossbars than
-/// blocks.
-///
-/// # Example
-///
-/// ```
-/// use fare_core::{map_adjacency, MappingConfig};
-/// use fare_reram::CrossbarArray;
-/// use fare_tensor::Matrix;
-///
-/// let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-/// let array = CrossbarArray::new(2, 4); // fault-free
-/// let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
-/// assert_eq!(mapping.total_cost(), 0);
-/// ```
-pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -> Mapping {
-    let n = array.n();
-    let (grid, blocks) = decompose(adj, n);
-    let b = blocks.len();
-    let m = array.len();
-    assert!(
-        b <= m,
-        "not enough crossbars: {b} blocks > {m} crossbars"
-    );
-
-    // cost[i][j] for every (block, crossbar) pair, in parallel.
-    let pair_solutions: Vec<Vec<(Vec<usize>, usize, usize)>> = blocks
-        .par_iter()
-        .map(|(_, _, block)| {
-            (0..m)
-                .map(|j| solve_row_permutation(block, array.crossbar(j), cfg.matcher))
-                .collect()
-        })
-        .collect();
+/// `cost_at(i, j)` returns `(mismatch, sa1)` for block `i` on crossbar
+/// `j`; `take_at(i, j)` materialises the full solution for the chosen
+/// pairs only.
+fn assemble_mapping<C, T>(
+    n: usize,
+    grid: usize,
+    block_meta: &[(usize, usize)],
+    ones: &[usize],
+    m: usize,
+    cfg: &MappingConfig,
+    cost_at: C,
+    take_at: T,
+    parallel_g2: bool,
+) -> Mapping
+where
+    C: Fn(usize, usize) -> (usize, usize) + Sync,
+    T: Fn(usize, usize) -> PairSolution,
+{
+    let b = block_meta.len();
 
     // Pruning heuristic (lines 8-17).
     let mut live_blocks: Vec<usize> = (0..b).collect();
     let mut live_xbars: Vec<usize> = (0..m).collect();
     let mut deferred_blocks: Vec<usize> = Vec::new();
     if cfg.prune {
-        let ones: Vec<usize> = blocks.iter().map(|(_, _, bl)| ones_count(bl)).collect();
         let mut j_idx = 0;
         while j_idx < live_xbars.len() {
             let j = live_xbars[j_idx];
             let min_sa1 = live_blocks
                 .iter()
-                .map(|&i| pair_solutions[i][j].2)
+                .map(|&i| cost_at(i, j).1)
                 .min()
                 .unwrap_or(0);
             // The sparsest still-live block.
@@ -307,18 +704,33 @@ pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -
     let mut placements: Vec<BlockPlacement> = Vec::with_capacity(b);
     let mut used_xbars = vec![false; m];
     if !live_blocks.is_empty() {
-        let g2 = CostMatrix::from_fn(live_blocks.len(), live_xbars.len(), |bi, xj| {
-            let i = live_blocks[bi];
-            let j = live_xbars[xj];
-            pair_solutions[i][j].1 as f64 + locality_penalty(blocks[i].0, j)
-        });
+        let g2_entry = |i: usize, j: usize| -> f64 {
+            cost_at(i, j).0 as f64 + locality_penalty(block_meta[i].0, j)
+        };
+        let g2 = if parallel_g2 {
+            // Row-parallel assembly; entries are computed by the exact
+            // expression the serial branch uses, so both are bit-equal.
+            let xbars = &live_xbars;
+            let rows: Vec<Vec<f64>> = scoped_map(live_blocks.clone(), |i| {
+                xbars.iter().map(|&j| g2_entry(i, j)).collect()
+            });
+            CostMatrix::from_vec(
+                live_blocks.len(),
+                live_xbars.len(),
+                rows.concat(),
+            )
+        } else {
+            CostMatrix::from_fn(live_blocks.len(), live_xbars.len(), |bi, xj| {
+                g2_entry(live_blocks[bi], live_xbars[xj])
+            })
+        };
         let sol = cfg.matcher.solve(&g2);
         for (bi, assigned) in sol.assignment.iter().enumerate() {
             let i = live_blocks[bi];
             let j = live_xbars[assigned.expect("G2 assigns every block")];
             used_xbars[j] = true;
-            let (perm, cost, sa1) = pair_solutions[i][j].clone();
-            let (br, bc, _) = blocks[i];
+            let (perm, cost, sa1) = take_at(i, j);
+            let (br, bc) = block_meta[i];
             placements.push(BlockPlacement {
                 block_row: br,
                 block_col: bc,
@@ -332,13 +744,13 @@ pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -
 
     // Deferred blocks: greedy best-remaining-crossbar placement.
     for &i in &deferred_blocks {
-        let (br, bc, _) = blocks[i];
+        let (br, bc) = block_meta[i];
         let best = (0..m)
             .filter(|&j| !used_xbars[j])
-            .min_by_key(|&j| pair_solutions[i][j].1)
+            .min_by_key(|&j| cost_at(i, j).0)
             .expect("b <= m guarantees a free crossbar for deferred blocks");
         used_xbars[best] = true;
-        let (perm, cost, sa1) = pair_solutions[i][best].clone();
+        let (perm, cost, sa1) = take_at(i, best);
         placements.push(BlockPlacement {
             block_row: br,
             block_col: bc,
@@ -349,12 +761,227 @@ pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -
         });
     }
 
-    placements.sort_by_key(|p| (p.block_row, p.block_col));
-    Mapping {
+    Mapping::new(n, grid, placements)
+}
+
+/// Cross-epoch memo of solved `G₁` instances, keyed by block position.
+///
+/// [`map_adjacency_cached`] fills it with the chosen placements;
+/// [`refresh_row_permutations_cached`] re-solves only the pairs whose
+/// crossbar mutated since (detected via [`Crossbar::fault_version`]) and
+/// reuses the stored permutation for the rest — the common case after a
+/// BIST scan that found few new faults.
+///
+/// The cache assumes the adjacency block at a given `(block_row,
+/// block_col)` key is the same across calls (true per batch in the
+/// trainer, which owns one cache per batch state). A full
+/// [`map_adjacency_cached`] clears it first, so re-mapping a different
+/// adjacency through the same cache is safe.
+#[derive(Debug, Clone, Default)]
+pub struct RemapCache {
+    entries: HashMap<(usize, usize), CacheEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    crossbar: usize,
+    version: u64,
+    solution: PairSolution,
+}
+
+impl RemapCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoised block placements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all memoised solutions.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn store(&mut self, array: &CrossbarArray, placements: &[BlockPlacement]) {
+        for p in placements {
+            self.entries.insert(
+                (p.block_row, p.block_col),
+                CacheEntry {
+                    crossbar: p.crossbar,
+                    version: array.crossbar(p.crossbar).fault_version(),
+                    solution: (p.row_perm.clone(), p.mismatch_cost, p.sa1_cost),
+                },
+            );
+        }
+    }
+}
+
+/// Runs Algorithm 1: the fault-aware mapping of `adj` onto `array`.
+///
+/// Every block ends up placed (blocks the pruning step defers are
+/// greedily placed on leftover crossbars afterwards — the hardware must
+/// store the whole matrix either way).
+///
+/// # Panics
+///
+/// Panics if `adj` is not square/empty, or there are fewer crossbars than
+/// blocks.
+///
+/// # Example
+///
+/// ```
+/// use fare_core::{map_adjacency, MappingConfig};
+/// use fare_reram::CrossbarArray;
+/// use fare_tensor::Matrix;
+///
+/// let adj = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let array = CrossbarArray::new(2, 4); // fault-free
+/// let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+/// assert_eq!(mapping.total_cost(), 0);
+/// ```
+pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -> Mapping {
+    let mut cache = RemapCache::new();
+    map_adjacency_cached(adj, array, cfg, &mut cache)
+}
+
+/// [`map_adjacency`] that additionally warms `cache` with the chosen
+/// placements so later [`refresh_row_permutations_cached`] calls skip
+/// crossbars whose fault state did not change.
+pub fn map_adjacency_cached(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    cfg: &MappingConfig,
+    cache: &mut RemapCache,
+) -> Mapping {
+    let n = array.n();
+    let (grid, blocks) = decompose(adj, n);
+    let b = blocks.len();
+    let m = array.len();
+    assert!(b <= m, "not enough crossbars: {b} blocks > {m} crossbars");
+
+    let packed: Vec<PackedRows> = blocks
+        .iter()
+        .map(|(_, _, block)| PackedRows::from_matrix(block))
+        .collect();
+    let block_meta: Vec<(usize, usize)> = blocks.iter().map(|(br, bc, _)| (*br, *bc)).collect();
+    let ones: Vec<usize> = packed
+        .iter()
+        .map(|p| (0..p.rows()).map(|r| p.ones(r)).sum())
+        .collect();
+
+    // Content classes: identical blocks share one class; crossbars with
+    // identical fault planes share one class. G₁ solutions are pure
+    // functions of (block bits, fault planes, matcher), so solving one
+    // representative per class pair is bit-exact.
+    let mut block_class: Vec<u32> = vec![0; b];
+    let mut block_reps: Vec<usize> = Vec::new();
+    {
+        let mut seen: HashMap<&[u64], u32> = HashMap::new();
+        for (i, p) in packed.iter().enumerate() {
+            let next = block_reps.len() as u32;
+            let class = *seen.entry(p.bits()).or_insert_with(|| {
+                block_reps.push(i);
+                next
+            });
+            block_class[i] = class;
+        }
+    }
+    let mut xbar_class: Vec<u32> = vec![0; m];
+    let mut xbar_reps: Vec<usize> = Vec::new();
+    {
+        let mut seen: HashMap<(&[u64], &[u64]), u32> = HashMap::new();
+        for j in 0..m {
+            let planes = array.crossbar(j).fault_bits();
+            let next = xbar_reps.len() as u32;
+            let class = *seen.entry(planes).or_insert_with(|| {
+                xbar_reps.push(j);
+                next
+            });
+            xbar_class[j] = class;
+        }
+    }
+    // Per-class precomputation, amortised across every pair the class
+    // participates in: each block class gets its transposed column index
+    // (reused against all fault classes), each fault class its base
+    // costs/histogram (reused against all block classes).
+    let col_idx: Vec<BlockColIdx> = block_reps
+        .iter()
+        .map(|&i| BlockColIdx::build(&packed[i]))
+        .collect();
+    let xbar_ctx: Vec<XbarG1Ctx> = xbar_reps
+        .iter()
+        .map(|&j| XbarG1Ctx::build(array.crossbar(j)))
+        .collect();
+
+    // Solve each unique (block-class, fault-class) pair exactly once, on
+    // the worker pool, with per-worker solver scratch.
+    let bc_count = block_reps.len();
+    let xc_count = xbar_reps.len();
+    let pairs: Vec<(usize, usize)> = (0..bc_count)
+        .flat_map(|ci| (0..xc_count).map(move |cj| (ci, cj)))
+        .collect();
+    // The pair table needs only `(mismatch, sa1)` — `G₂` and the pruning
+    // heuristic consume costs, never permutations — so the fan-out solve
+    // skips permutation assembly (and its per-pair allocation) entirely.
+    // Full solutions are recomputed below for the ~`B` chosen pairs.
+    let unique: Vec<(usize, usize)> = {
+        let packed = &packed;
+        let block_reps = &block_reps;
+        let xbar_reps = &xbar_reps;
+        let col_idx = &col_idx;
+        let xbar_ctx = &xbar_ctx;
+        scoped_map_init(pairs, G1Scratch::default, |scratch, (ci, cj)| {
+            solve_reduced_g1_costs(
+                &packed[block_reps[ci]],
+                &col_idx[ci],
+                array.crossbar(xbar_reps[cj]),
+                &xbar_ctx[cj],
+                cfg.matcher,
+                scratch,
+            )
+        })
+    };
+    let cost_at =
+        |i: usize, j: usize| unique[block_class[i] as usize * xc_count + xbar_class[j] as usize];
+    let take_scratch = RefCell::new(G1Scratch::default());
+
+    let mapping = assemble_mapping(
         n,
         grid,
-        placements,
-    }
+        &block_meta,
+        &ones,
+        m,
+        cfg,
+        cost_at,
+        |i, j| {
+            // Deterministic re-solve of a chosen pair: same inputs as the
+            // cost-only pass, so the permutation realises exactly the
+            // `(mismatch, sa1)` the table promised. Crossbar `j` shares
+            // its fault planes with its class representative, so the
+            // class context applies verbatim.
+            solve_reduced_g1(
+                &packed[i],
+                &col_idx[block_class[i] as usize],
+                array.crossbar(j),
+                &xbar_ctx[xbar_class[j] as usize],
+                cfg.matcher,
+                &mut take_scratch.borrow_mut(),
+            )
+        },
+        true,
+    );
+
+    cache.clear();
+    cache.store(array, mapping.placements());
+    mapping
 }
 
 /// The cheap fault-unaware mapping: block `k` (row-major) goes to
@@ -393,11 +1020,7 @@ pub fn sequential_mapping(adj: &Matrix, array: &CrossbarArray) -> Mapping {
             }
         })
         .collect();
-    Mapping {
-        n,
-        grid,
-        placements,
-    }
+    Mapping::new(n, grid, placements)
 }
 
 /// Neuron-reordering-style mapping: keeps the sequential block→crossbar
@@ -422,26 +1045,23 @@ pub fn reordered_sequential_mapping(
         blocks.len(),
         array.len()
     );
-    let placements = blocks
-        .into_par_iter()
-        .enumerate()
-        .map(|(k, (br, bc, block))| {
-            let (perm, cost, sa1) = solve_row_permutation(&block, array.crossbar(k), matcher);
-            BlockPlacement {
-                block_row: br,
-                block_col: bc,
-                crossbar: k,
-                row_perm: perm,
-                mismatch_cost: cost,
-                sa1_cost: sa1,
-            }
-        })
-        .collect();
-    Mapping {
-        n,
-        grid,
-        placements,
-    }
+    let items: Vec<(usize, (usize, usize, Matrix))> = blocks.into_iter().enumerate().collect();
+    let placements = scoped_map_init(items, G1Scratch::default, |scratch, (k, (br, bc, block))| {
+        let xbar = array.crossbar(k);
+        let packed = PackedRows::from_matrix(&block);
+        let col_idx = BlockColIdx::build(&packed);
+        let ctx = XbarG1Ctx::build(xbar);
+        let (perm, cost, sa1) = solve_reduced_g1(&packed, &col_idx, xbar, &ctx, matcher, scratch);
+        BlockPlacement {
+            block_row: br,
+            block_col: bc,
+            crossbar: k,
+            row_perm: perm,
+            mismatch_cost: cost,
+            sa1_cost: sa1,
+        }
+    });
+    Mapping::new(n, grid, placements)
 }
 
 /// Post-deployment refresh (Section IV-A): keeps the block→crossbar
@@ -461,6 +1081,27 @@ pub fn refresh_row_permutations(
     mapping: &Mapping,
     matcher: Matcher,
 ) -> Mapping {
+    let mut cache = RemapCache::new();
+    refresh_row_permutations_cached(adj, array, mapping, matcher, &mut cache)
+}
+
+/// [`refresh_row_permutations`] with cross-epoch memoisation: pairs whose
+/// crossbar's [`Crossbar::fault_version`] matches the cached entry reuse
+/// the stored permutation; only mutated crossbars are re-solved (in
+/// parallel). With an empty cache this degenerates to a full (parallel)
+/// recompute, so results are identical either way.
+///
+/// # Panics
+///
+/// Panics if `mapping` refers to crossbars `array` does not have, or its
+/// geometry disagrees with `adj`.
+pub fn refresh_row_permutations_cached(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    mapping: &Mapping,
+    matcher: Matcher,
+    cache: &mut RemapCache,
+) -> Mapping {
     let n = array.n();
     assert_eq!(mapping.n, n, "mapping crossbar size mismatch");
     assert_eq!(
@@ -468,13 +1109,41 @@ pub fn refresh_row_permutations(
         adj.rows().div_ceil(n),
         "mapping grid does not match adjacency"
     );
-    let placements = mapping
+
+    let mut solutions: Vec<Option<PairSolution>> = vec![None; mapping.placements.len()];
+    let mut misses: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for (idx, p) in mapping.placements.iter().enumerate() {
+        let hit = cache.entries.get(&(p.block_row, p.block_col)).filter(|e| {
+            e.crossbar == p.crossbar
+                && e.version == array.crossbar(p.crossbar).fault_version()
+        });
+        match hit {
+            Some(e) => solutions[idx] = Some(e.solution.clone()),
+            None => misses.push((idx, p.block_row, p.block_col, p.crossbar)),
+        }
+    }
+
+    let solved = scoped_map_init(misses, G1Scratch::default, |scratch, (idx, br, bc, xi)| {
+        let block = adj.block(br * n, bc * n, n, n);
+        let packed = PackedRows::from_matrix(&block);
+        let col_idx = BlockColIdx::build(&packed);
+        let xbar = array.crossbar(xi);
+        let ctx = XbarG1Ctx::build(xbar);
+        (
+            idx,
+            solve_reduced_g1(&packed, &col_idx, xbar, &ctx, matcher, scratch),
+        )
+    });
+    for (idx, sol) in solved {
+        solutions[idx] = Some(sol);
+    }
+
+    let placements: Vec<BlockPlacement> = mapping
         .placements
-        .par_iter()
-        .map(|p| {
-            let block = adj.block(p.block_row * n, p.block_col * n, n, n);
-            let (perm, cost, sa1) =
-                solve_row_permutation(&block, array.crossbar(p.crossbar), matcher);
+        .iter()
+        .zip(solutions)
+        .map(|(p, sol)| {
+            let (perm, cost, sa1) = sol.expect("every placement solved or cached");
             BlockPlacement {
                 row_perm: perm,
                 mismatch_cost: cost,
@@ -483,10 +1152,211 @@ pub fn refresh_row_permutations(
             }
         })
         .collect();
-    Mapping {
-        n,
-        grid: mapping.grid,
-        placements,
+    let refreshed = Mapping::new(n, mapping.grid, placements);
+    cache.store(array, refreshed.placements());
+    refreshed
+}
+
+/// Naive serial oracles for the fast path, plus the pre-fast-path full
+/// `n × n` pipeline kept as the benchmark baseline.
+///
+/// The functions here intentionally avoid the packed kernels, the class
+/// deduplication, the dense integer b-Suitor, and the worker pool: they
+/// are the smallest honest implementation of the mapping semantics. The
+/// property tests assert the production path is bit-identical to them.
+pub mod reference {
+    use super::*;
+
+    /// Serial, slice-kernel version of the reduced `G₁` solve. Same
+    /// semantics as the fast path: an `f × n` instance over the faulty
+    /// physical rows, completed with fault-free rows at cost 0.
+    pub fn solve_row_permutation(
+        block: &Matrix,
+        xbar: &Crossbar,
+        matcher: Matcher,
+    ) -> (Vec<usize>, usize, usize) {
+        let n = block.rows();
+        let faulty = xbar.faulty_rows();
+        if faulty.is_empty() {
+            return ((0..n).collect(), 0, 0);
+        }
+        let cost = CostMatrix::from_fn(faulty.len(), n, |k, l| {
+            xbar.row_mismatch(block.row(l), faulty[k]) as f64
+        });
+        let sol = matcher.solve(&cost);
+        let mut perm = vec![usize::MAX; n];
+        let mut mismatch = 0usize;
+        let mut sa1 = 0usize;
+        for (k, assigned) in sol.assignment.iter().enumerate() {
+            let l = assigned.expect("reduced G1 assigns every faulty row");
+            perm[l] = faulty[k];
+            mismatch += xbar.row_mismatch(block.row(l), faulty[k]);
+            sa1 += xbar.row_sa1_mismatch(block.row(l), faulty[k]);
+        }
+        let mut free = (0..xbar.n()).filter(|q| !faulty.contains(q));
+        for slot in perm.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = free
+                    .next()
+                    .expect("as many fault-free rows as unmatched logical rows");
+            }
+        }
+        (perm, mismatch, sa1)
+    }
+
+    /// Serial oracle for [`super::map_adjacency`]: solves every
+    /// (block, crossbar) pair naively, then runs the identical pruning
+    /// and `G₂` selection.
+    pub fn map_adjacency(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -> Mapping {
+        let n = array.n();
+        let (grid, blocks) = decompose(adj, n);
+        let b = blocks.len();
+        let m = array.len();
+        assert!(b <= m, "not enough crossbars: {b} blocks > {m} crossbars");
+        let pair: Vec<Vec<PairSolution>> = blocks
+            .iter()
+            .map(|(_, _, block)| {
+                (0..m)
+                    .map(|j| solve_row_permutation(block, array.crossbar(j), cfg.matcher))
+                    .collect()
+            })
+            .collect();
+        let block_meta: Vec<(usize, usize)> = blocks.iter().map(|(br, bc, _)| (*br, *bc)).collect();
+        let ones: Vec<usize> = blocks.iter().map(|(_, _, bl)| ones_count(bl)).collect();
+        assemble_mapping(
+            n,
+            grid,
+            &block_meta,
+            &ones,
+            m,
+            cfg,
+            |i, j| (pair[i][j].1, pair[i][j].2),
+            |i, j| pair[i][j].clone(),
+            false,
+        )
+    }
+
+    /// Serial oracle for [`super::refresh_row_permutations`].
+    pub fn refresh_row_permutations(
+        adj: &Matrix,
+        array: &CrossbarArray,
+        mapping: &Mapping,
+        matcher: Matcher,
+    ) -> Mapping {
+        let n = array.n();
+        assert_eq!(mapping.n(), n, "mapping crossbar size mismatch");
+        assert_eq!(
+            mapping.grid(),
+            adj.rows().div_ceil(n),
+            "mapping grid does not match adjacency"
+        );
+        let placements = mapping
+            .placements()
+            .iter()
+            .map(|p| {
+                let block = adj.block(p.block_row * n, p.block_col * n, n, n);
+                let (perm, cost, sa1) =
+                    solve_row_permutation(&block, array.crossbar(p.crossbar), matcher);
+                BlockPlacement {
+                    row_perm: perm,
+                    mismatch_cost: cost,
+                    sa1_cost: sa1,
+                    ..p.clone()
+                }
+            })
+            .collect();
+        Mapping::new(n, mapping.grid(), placements)
+    }
+
+    /// The original full `n × n` `G₁` solve: every physical row is a
+    /// column of the instance, fault-free ones included. Kept as the
+    /// benchmark baseline the fast path's speedup is measured against.
+    pub fn solve_row_permutation_full(
+        block: &Matrix,
+        xbar: &Crossbar,
+        matcher: Matcher,
+    ) -> (Vec<usize>, usize, usize) {
+        let n = block.rows();
+        if xbar.fault_count() == 0 {
+            return ((0..n).collect(), 0, 0);
+        }
+        let cost =
+            CostMatrix::from_fn(n, xbar.n(), |p, q| xbar.row_mismatch(block.row(p), q) as f64);
+        let sol = matcher.solve(&cost);
+        let perm = sol.to_permutation();
+        let mismatch: usize = perm
+            .iter()
+            .enumerate()
+            .map(|(p, &q)| xbar.row_mismatch(block.row(p), q))
+            .sum();
+        let sa1: usize = perm
+            .iter()
+            .enumerate()
+            .map(|(p, &q)| xbar.row_sa1_mismatch(block.row(p), q))
+            .sum();
+        (perm, mismatch, sa1)
+    }
+
+    /// The pre-fast-path pipeline: full `n × n` pair solves (parallel
+    /// over blocks, as before), no deduplication, no packed kernels.
+    /// This is the benchmark baseline; [`super::map_adjacency`] replaces
+    /// it in production.
+    pub fn map_adjacency_full(adj: &Matrix, array: &CrossbarArray, cfg: &MappingConfig) -> Mapping {
+        let n = array.n();
+        let (grid, blocks) = decompose(adj, n);
+        let b = blocks.len();
+        let m = array.len();
+        assert!(b <= m, "not enough crossbars: {b} blocks > {m} crossbars");
+        let pair: Vec<Vec<PairSolution>> = blocks
+            .par_iter()
+            .map(|(_, _, block)| {
+                (0..m)
+                    .map(|j| solve_row_permutation_full(block, array.crossbar(j), cfg.matcher))
+                    .collect()
+            })
+            .collect();
+        let block_meta: Vec<(usize, usize)> = blocks.iter().map(|(br, bc, _)| (*br, *bc)).collect();
+        let ones: Vec<usize> = blocks.iter().map(|(_, _, bl)| ones_count(bl)).collect();
+        assemble_mapping(
+            n,
+            grid,
+            &block_meta,
+            &ones,
+            m,
+            cfg,
+            |i, j| (pair[i][j].1, pair[i][j].2),
+            |i, j| pair[i][j].clone(),
+            false,
+        )
+    }
+
+    /// Full-matrix refresh (the pre-fast-path maintenance step): re-solve
+    /// the full `n × n` instance for every placement. Benchmark baseline
+    /// for [`super::refresh_row_permutations_cached`].
+    pub fn refresh_row_permutations_full(
+        adj: &Matrix,
+        array: &CrossbarArray,
+        mapping: &Mapping,
+        matcher: Matcher,
+    ) -> Mapping {
+        let n = array.n();
+        assert_eq!(mapping.n(), n, "mapping crossbar size mismatch");
+        let placements = mapping
+            .placements()
+            .iter()
+            .map(|p| {
+                let block = adj.block(p.block_row * n, p.block_col * n, n, n);
+                let (perm, cost, sa1) =
+                    solve_row_permutation_full(&block, array.crossbar(p.crossbar), matcher);
+                BlockPlacement {
+                    row_perm: perm,
+                    mismatch_cost: cost,
+                    sa1_cost: sa1,
+                    ..p.clone()
+                }
+            })
+            .collect();
+        Mapping::new(n, mapping.grid(), placements)
     }
 }
 
@@ -682,6 +1552,22 @@ mod tests {
     }
 
     #[test]
+    fn placement_lookup_agrees_with_linear_scan() {
+        let adj = random_adj(24, 0.15, 40);
+        let array = faulty_array(12, 8, 0.04, 41);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        for br in 0..4 {
+            for bc in 0..4 {
+                let scanned = mapping
+                    .placements()
+                    .iter()
+                    .find(|p| p.block_row == br && p.block_col == bc);
+                assert_eq!(mapping.placement_for(br, bc), scanned);
+            }
+        }
+    }
+
+    #[test]
     fn locality_term_reduces_tile_spread() {
         use crate::mapping::LocalityConfig;
         let adj = random_adj(32, 0.15, 30);
@@ -741,5 +1627,157 @@ mod tests {
         let adj = random_adj(32, 0.1, 20);
         let array = CrossbarArray::new(2, 8);
         map_adjacency(&adj, &array, &MappingConfig::default());
+    }
+
+    /// 8×8 adjacency over 4×4 crossbars with block (0,0) all-zero and the
+    /// other three blocks at distinct densities.
+    fn defer_fixture() -> Matrix {
+        let mut adj = Matrix::zeros(8, 8);
+        // Block (0,1): rows 0..4, cols 4..8 — 5 ones.
+        for &(r, c) in &[(0, 4), (0, 5), (1, 6), (2, 7), (3, 4)] {
+            adj[(r, c)] = 1.0;
+        }
+        // Block (1,0): rows 4..8, cols 0..4 — 3 ones.
+        for &(r, c) in &[(4, 0), (5, 1), (6, 2)] {
+            adj[(r, c)] = 1.0;
+        }
+        // Block (1,1): rows 4..8, cols 4..8 — 6 ones.
+        for &(r, c) in &[(4, 5), (5, 4), (5, 6), (6, 5), (6, 7), (7, 6)] {
+            adj[(r, c)] = 1.0;
+        }
+        adj
+    }
+
+    fn drench_sa1(xbar: &mut Crossbar) {
+        for r in 0..xbar.n() {
+            for c in 0..xbar.n() {
+                xbar.inject_fault(r, c, StuckPolarity::StuckAtOne);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_defers_sparsest_block_when_b_equals_m() {
+        // b == m == 4 and crossbar 0 is all-SA1: even the densest block
+        // leaves min_sa1 = 16 - 6 = 10 > 0 = ones of the empty block, so
+        // Algorithm 1's line-15 branch defers the sparsest block rather
+        // than dropping the crossbar.
+        let adj = defer_fixture();
+        let mut array = CrossbarArray::new(4, 4);
+        drench_sa1(array.crossbar_mut(0));
+        let cfg = MappingConfig::default();
+        let mapping = map_adjacency(&adj, &array, &cfg);
+        assert_eq!(mapping.placements().len(), 4, "deferred block must still be placed");
+        let mut used = std::collections::HashSet::new();
+        for p in mapping.placements() {
+            assert!(used.insert(p.crossbar));
+        }
+        // G₂ gives the three live blocks the clean crossbars at cost 0;
+        // the deferred empty block greedily takes the only remaining
+        // (drenched) crossbar.
+        let empty = mapping.placement_for(0, 0).unwrap();
+        assert_eq!(empty.crossbar, 0);
+        assert_eq!(empty.mismatch_cost, 16);
+        assert_eq!(mapping.total_cost(), 16);
+        assert_eq!(mapping, reference::map_adjacency(&adj, &array, &cfg));
+    }
+
+    #[test]
+    fn prune_drops_hopeless_crossbar_when_plentiful() {
+        // Same drenched crossbar but m > b: the line-13 branch removes it
+        // from the pool instead, and no block lands on it.
+        let adj = defer_fixture();
+        let mut array = CrossbarArray::new(6, 4);
+        drench_sa1(array.crossbar_mut(0));
+        let cfg = MappingConfig::default();
+        let mapping = map_adjacency(&adj, &array, &cfg);
+        assert_eq!(mapping.placements().len(), 4);
+        assert!(
+            mapping.placements().iter().all(|p| p.crossbar != 0),
+            "pruned crossbar must stay empty"
+        );
+        assert_eq!(mapping.total_cost(), 0);
+        assert_eq!(mapping, reference::map_adjacency(&adj, &array, &cfg));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_oracle() {
+        for (seed, matcher) in [
+            (50, Matcher::BSuitor),
+            (51, Matcher::Hungarian),
+            (52, Matcher::BSuitor),
+        ] {
+            let adj = random_adj(24, 0.12, seed);
+            let array = faulty_array(12, 8, 0.06, seed + 100);
+            let cfg = MappingConfig {
+                matcher,
+                ..MappingConfig::default()
+            };
+            let fast = map_adjacency(&adj, &array, &cfg);
+            let oracle = reference::map_adjacency(&adj, &array, &cfg);
+            assert_eq!(fast, oracle, "seed {seed} {matcher}");
+        }
+    }
+
+    #[test]
+    fn hungarian_reduced_matches_full_total() {
+        // The reduced f×n instance and the full n×n instance have the
+        // same optimum: fault-free rows cost 0 against any logical row.
+        for seed in 60..63 {
+            let adj = random_adj(24, 0.12, seed);
+            let array = faulty_array(9, 8, 0.06, seed + 100);
+            let cfg = MappingConfig {
+                matcher: Matcher::Hungarian,
+                prune: false,
+                locality: None,
+            };
+            let reduced = map_adjacency(&adj, &array, &cfg);
+            let full = reference::map_adjacency_full(&adj, &array, &cfg);
+            assert_eq!(reduced.total_cost(), full.total_cost(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cached_refresh_matches_uncached_and_oracle() {
+        let adj = random_adj(24, 0.15, 70);
+        let mut array = faulty_array(9, 8, 0.03, 71);
+        let mut cache = RemapCache::new();
+        let mapping = map_adjacency_cached(&adj, &array, &MappingConfig::default(), &mut cache);
+        assert_eq!(cache.len(), mapping.placements().len());
+
+        // No mutation: the refresh must be pure cache hits and identical
+        // to a cold full recompute.
+        let warm =
+            refresh_row_permutations_cached(&adj, &array, &mapping, Matcher::BSuitor, &mut cache);
+        let cold = refresh_row_permutations(&adj, &array, &mapping, Matcher::BSuitor);
+        assert_eq!(warm, cold);
+        assert_eq!(
+            warm,
+            reference::refresh_row_permutations(&adj, &array, &mapping, Matcher::BSuitor)
+        );
+
+        // Mutate a subset of crossbars; the incremental refresh must
+        // still equal the full recompute bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(72);
+        for j in [0usize, 3, 5] {
+            let xbar = array.crossbar_mut(j);
+            let r = rng.gen_range(0..8);
+            let c = rng.gen_range(0..8);
+            xbar.inject_fault(r, c, StuckPolarity::StuckAtOne);
+        }
+        let warm =
+            refresh_row_permutations_cached(&adj, &array, &warm, Matcher::BSuitor, &mut cache);
+        let cold = refresh_row_permutations(&adj, &array, &mapping, Matcher::BSuitor);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn mapping_json_round_trip_rebuilds_lookup() {
+        let adj = random_adj(16, 0.2, 80);
+        let array = faulty_array(4, 8, 0.05, 81);
+        let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
+        let back = Mapping::from_json(&mapping.to_json()).unwrap();
+        assert_eq!(back, mapping);
+        assert_eq!(back.placement_for(1, 0), mapping.placement_for(1, 0));
     }
 }

@@ -13,8 +13,8 @@ use fare_tensor::{ops, Matrix};
 
 use crate::faulty::{corrupt_adjacency_mapped, FaultyWeightReader};
 use crate::mapping::{
-    map_adjacency, refresh_row_permutations, reordered_sequential_mapping, sequential_mapping,
-    Mapping, MappingConfig,
+    map_adjacency_cached, refresh_row_permutations_cached, reordered_sequential_mapping,
+    sequential_mapping, Mapping, MappingConfig, RemapCache,
 };
 use crate::FaultStrategy;
 
@@ -172,6 +172,10 @@ struct BatchState {
     train_mask: Vec<bool>,
     array: CrossbarArray,
     mapping: Mapping,
+    /// Memoised `G₁` solutions keyed by block position; lets the
+    /// post-BIST refresh re-solve only the crossbars whose fault state
+    /// actually changed.
+    remap: RemapCache,
 }
 
 /// The adjacency the model actually sees, wrapped in a [`GraphView`] so
@@ -275,8 +279,9 @@ impl Trainer {
                 if cfg.adjacency_faults {
                     array.inject(&cfg.fault_spec, &mut rng);
                 }
+                let mut remap = RemapCache::new();
                 let mapping = match cfg.strategy {
-                    FaultStrategy::FaRe => map_adjacency(&adj, &array, &map_cfg),
+                    FaultStrategy::FaRe => map_adjacency_cached(&adj, &array, &map_cfg, &mut remap),
                     FaultStrategy::NeuronReordering => {
                         reordered_sequential_mapping(&adj, &array, cfg.matcher)
                     }
@@ -295,6 +300,7 @@ impl Trainer {
                     train_mask,
                     array,
                     mapping,
+                    remap,
                 }
             })
             .collect();
@@ -357,11 +363,12 @@ impl Trainer {
                 }
                 if cfg.strategy.maps_adjacency() && cfg.adjacency_faults && cfg.post_refresh {
                     for state in &mut states {
-                        state.mapping = refresh_row_permutations(
+                        state.mapping = refresh_row_permutations_cached(
                             &state.adj,
                             &state.array,
                             &state.mapping,
                             cfg.matcher,
+                            &mut state.remap,
                         );
                     }
                 }

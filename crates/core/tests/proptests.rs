@@ -1,8 +1,9 @@
 //! Property-based tests for the FARe mapping algorithm.
 
 use fare_core::mapping::{
-    map_adjacency, refresh_row_permutations, reordered_sequential_mapping, sequential_mapping,
-    MappingConfig,
+    map_adjacency, map_adjacency_cached, reference, refresh_row_permutations,
+    refresh_row_permutations_cached, reordered_sequential_mapping, sequential_mapping,
+    MappingConfig, RemapCache,
 };
 use fare_core::{corrupt_adjacency_mapped, corrupt_adjacency_unaware};
 use fare_matching::Matcher;
@@ -124,5 +125,104 @@ proptest! {
         let mapping = map_adjacency(&adj, &array, &MappingConfig::default());
         prop_assert_eq!(mapping.total_cost(), 0);
         prop_assert_eq!(mapping.total_sa1_cost(), 0);
+    }
+
+    // The fast path (packed kernels, class dedup, dense integer
+    // b-Suitor, pair-level parallelism) is bit-identical to the naive
+    // serial reference oracle for both the paper's b-Suitor and the
+    // exact Hungarian solver: same placements, same permutations, same
+    // mismatch and SA1 costs.
+    #[test]
+    fn fast_path_bit_identical_to_reference(
+        seed in 0u64..1000,
+        density in 0.0f64..0.12,
+        exact in any::<bool>(),
+        prune in any::<bool>(),
+    ) {
+        let (adj, array) = instance(24, 8, seed, density);
+        let cfg = MappingConfig {
+            matcher: if exact { Matcher::Hungarian } else { Matcher::BSuitor },
+            prune,
+            ..MappingConfig::default()
+        };
+        let fast = map_adjacency(&adj, &array, &cfg);
+        let oracle = reference::map_adjacency(&adj, &array, &cfg);
+        prop_assert_eq!(fast, oracle);
+    }
+
+    // Restricting the `G₁` instance to the faulty physical rows loses
+    // nothing for an exact solver: fault-free rows cost 0 against any
+    // logical row, so the reduced `f × n` optimum equals the full
+    // `n × n` optimum, pair by pair and hence in total.
+    #[test]
+    fn hungarian_reduced_total_equals_full(
+        seed in 0u64..1000,
+        density in 0.0f64..0.12,
+    ) {
+        let (adj, array) = instance(24, 8, seed, density);
+        let cfg = MappingConfig {
+            matcher: Matcher::Hungarian,
+            prune: false,
+            locality: None,
+        };
+        let reduced = map_adjacency(&adj, &array, &cfg);
+        let full = reference::map_adjacency_full(&adj, &array, &cfg);
+        prop_assert_eq!(reduced.total_cost(), full.total_cost());
+    }
+
+    // The version-gated incremental refresh is bit-identical to a cold
+    // full recompute and to the serial reference, after arbitrary
+    // post-deployment injection, for both matchers.
+    #[test]
+    fn incremental_refresh_bit_identical_to_full(
+        seed in 0u64..1000,
+        extra in 0.0f64..0.04,
+        exact in any::<bool>(),
+    ) {
+        let matcher = if exact { Matcher::Hungarian } else { Matcher::BSuitor };
+        let (adj, mut array) = instance(24, 8, seed, 0.03);
+        let mut cache = RemapCache::new();
+        let cfg = MappingConfig { matcher, ..MappingConfig::default() };
+        let mapping = map_adjacency_cached(&adj, &array, &cfg, &mut cache);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        array.inject(&FaultSpec::density(extra), &mut rng);
+        let incremental =
+            refresh_row_permutations_cached(&adj, &array, &mapping, matcher, &mut cache);
+        let cold = refresh_row_permutations(&adj, &array, &mapping, matcher);
+        let oracle = reference::refresh_row_permutations(&adj, &array, &mapping, matcher);
+        prop_assert_eq!(&incremental, &cold);
+        prop_assert_eq!(&incremental, &oracle);
+    }
+}
+
+/// A crossbar row carrying 64+ SA1 faults pushes its base mismatch cost
+/// past the 64-bit level mask, forcing the level-greedy solver through
+/// its spill-list path. The result must still match the oracle exactly.
+#[test]
+fn large_base_cost_spill_path_bit_identical() {
+    let (adj, mut array) = instance(192, 96, 7, 0.02);
+    // 70 SA1 faults in one row (base cost 70 >= 64), plus a second row
+    // mixing polarities, on a crossbar the mapping will consider.
+    for c in 0..70 {
+        array
+            .crossbar_mut(0)
+            .inject_fault(3, c, fare_reram::StuckPolarity::StuckAtOne);
+    }
+    for c in 0..10 {
+        let pol = if c % 2 == 0 {
+            fare_reram::StuckPolarity::StuckAtZero
+        } else {
+            fare_reram::StuckPolarity::StuckAtOne
+        };
+        array.crossbar_mut(0).inject_fault(5, c * 9, pol);
+    }
+    for exact in [false, true] {
+        let cfg = MappingConfig {
+            matcher: if exact { Matcher::Hungarian } else { Matcher::BSuitor },
+            ..MappingConfig::default()
+        };
+        let fast = map_adjacency(&adj, &array, &cfg);
+        let oracle = reference::map_adjacency(&adj, &array, &cfg);
+        assert_eq!(fast, oracle, "exact={exact}");
     }
 }

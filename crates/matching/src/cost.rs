@@ -68,6 +68,23 @@ impl CostMatrix {
         Self::from_vec(rows, cols, data)
     }
 
+    /// Builds a cost matrix one row at a time: `f(r, row)` fills the
+    /// zero-initialised `cols`-wide slice for row `r`. This is the bulk
+    /// builder the mapping fast path uses — a row-wise kernel can fill a
+    /// whole row from packed bitsets without paying a closure call per
+    /// entry as [`CostMatrix::from_fn`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` leaves a non-finite cost in any row.
+    pub fn from_row_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, &mut [f64])) -> Self {
+        let mut data = vec![0.0; rows * cols];
+        for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+            f(r, row);
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -1,0 +1,487 @@
+//! Dense integer specialisation of the b-Suitor assignment solver.
+//!
+//! Algorithm 1's G₁ instances are dense rectangular matrices of small
+//! integer mismatch counts, solved tens of thousands of times per
+//! mapping call. The generic [`crate::bsuitor_assignment`] pays for that
+//! generality on every solve: it materialises `rows × cols` boxed
+//! `Edge`s, duplicates them into adjacency lists, comparison-sorts `f64`
+//! weights and churns a `BinaryHeap` per vertex. This module re-derives
+//! the exact same algorithm for the dense integer case:
+//!
+//! - costs stay `u32`; the generic path's weight transform
+//!   `w = max_cost − cost + 1e-9` is strictly monotone on integers
+//!   (gaps ≥ 1 dwarf the 1e-9 offset and f64 rounding), so integer cost
+//!   comparisons reproduce every weight comparison, including ties —
+//!   equal costs produce bitwise-equal weights;
+//! - per-vertex proposal order comes from a counting sort on
+//!   `(cost asc, neighbour id asc)`, the image of the generic path's
+//!   stable `(weight desc, id asc)` sort;
+//! - the `b ≡ 1` suitor heap collapses to one `(cost, from)` slot.
+//!
+//! The result is **bit-identical** to `bsuitor_assignment` on the same
+//! integer matrix (pinned by a property test in `tests/proptests.rs`),
+//! with zero allocation per solve once the scratch buffers are warm.
+//!
+//! [`DenseBsuitor::solve_assigned`] goes one step further for callers
+//! that can produce per-row/per-column value histograms as a byproduct
+//! of building the cost matrix: it skips the counting passes entirely,
+//! placing every proposal list straight from the supplied histograms,
+//! and hands back the row → column assignment without allocating.
+//!
+//! A structural consequence worth naming (property-tested in
+//! `tests/proptests.rs`): because every vertex ranks its edges by the
+//! common total order `(cost asc, partner id asc)` — globally, `(cost,
+//! row, col)` — the suitor fixed point is the unique stable matching,
+//! i.e. the greedy matching over globally sorted edges. Callers with
+//! sparse cost structure (the mapping layer's `G₁` solver) exploit this
+//! to compute the identical assignment without proposal rounds at all.
+
+use crate::Assignment;
+
+const NONE: u32 = u32::MAX;
+
+/// Reusable scratch state for [`DenseBsuitor::solve`]. Create once, feed
+/// it every (block, crossbar) instance of a mapping pass.
+#[derive(Debug, Default)]
+pub struct DenseBsuitor {
+    /// Proposal order per vertex: rows' column orders (n·m entries),
+    /// then columns' row orders (m·n entries).
+    order: Vec<u32>,
+    /// Counting-sort histogram / prefix-sum buffer.
+    hist: Vec<u32>,
+    /// Current best proposal cost per vertex (valid when `suitor_from`
+    /// is not `NONE`).
+    suitor_cost: Vec<u32>,
+    /// Proposing vertex per vertex, `NONE` when unclaimed.
+    suitor_from: Vec<u32>,
+    /// Next adjacency index each vertex will propose to.
+    next: Vec<u32>,
+    /// Whether a vertex's proposal is currently accepted somewhere.
+    accepted: Vec<bool>,
+    /// Work stack of vertices with proposing still to do.
+    stack: Vec<u32>,
+    /// Extracted row → column assignment (`NONE`-free after a solve).
+    assign_row: Vec<u32>,
+    /// Column-taken flags for the extraction / greedy completion.
+    used: Vec<bool>,
+}
+
+impl DenseBsuitor {
+    /// Fresh solver with empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Minimum-cost assignment of the dense `rows × cols` integer matrix
+    /// `cost` (row-major), bit-identical to running
+    /// [`crate::bsuitor_assignment`] on the same values as `f64`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > cols` or `cost.len() != rows * cols`.
+    pub fn solve(&mut self, rows: usize, cols: usize, cost: &[u32]) -> Assignment {
+        let (n, m) = (rows, cols);
+        assert!(n <= m, "dense b-suitor requires rows <= cols, got {n}x{m}");
+        assert_eq!(cost.len(), n * m, "cost data length mismatch");
+
+        self.sort_neighbours(n, m, cost);
+        self.run_proposals(n, m, cost);
+        self.extract(n, m, cost);
+
+        let assignment: Vec<Option<usize>> =
+            self.assign_row.iter().map(|&c| Some(c as usize)).collect();
+        // Integer costs sum exactly in f64, so this matches the generic
+        // path's sum bitwise.
+        let total_cost = assignment
+            .iter()
+            .enumerate()
+            .map(|(r, c)| cost[r * m + c.expect("all rows assigned")] as f64)
+            .sum();
+        Assignment {
+            assignment,
+            total_cost,
+        }
+    }
+
+    /// [`DenseBsuitor::solve`] for callers that already hold per-row and
+    /// per-column value histograms of `cost` (e.g. maintained
+    /// incrementally while building the matrix): the counting passes are
+    /// skipped and every proposal list is placed directly. Returns the
+    /// row → column assignment as a borrowed slice — no allocation.
+    ///
+    /// `row_hist[r * stride + v]` must be the number of entries of value
+    /// `v` in row `r`, `col_hist[c * stride + v]` likewise per column,
+    /// and every cost must be `< stride`. Both histograms are consumed
+    /// (turned into placement cursors). Bit-identical to
+    /// [`DenseBsuitor::solve`] on the same matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > cols`, a buffer length mismatches, or (debug
+    /// only) a cost breaches `stride`.
+    pub fn solve_assigned(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        cost: &[u32],
+        row_hist: &mut [u32],
+        col_hist: &mut [u32],
+        stride: usize,
+    ) -> &[u32] {
+        let (n, m) = (rows, cols);
+        assert!(n <= m, "dense b-suitor requires rows <= cols, got {n}x{m}");
+        assert_eq!(cost.len(), n * m, "cost data length mismatch");
+        assert_eq!(row_hist.len(), n * stride, "row histogram length mismatch");
+        assert_eq!(col_hist.len(), m * stride, "column histogram length mismatch");
+
+        self.order.clear();
+        self.order.resize(2 * n * m, 0);
+        let (row_ord, col_ord) = self.order.split_at_mut(n * m);
+
+        // Exclusive prefix sums turn the histograms into placement
+        // cursors: cursor[v] = first slot for value v.
+        for hist in row_hist.chunks_exact_mut(stride) {
+            let mut acc = 0u32;
+            for h in hist.iter_mut() {
+                let count = *h;
+                *h = acc;
+                acc += count;
+            }
+        }
+        for hist in col_hist.chunks_exact_mut(stride) {
+            let mut acc = 0u32;
+            for h in hist.iter_mut() {
+                let count = *h;
+                *h = acc;
+                acc += count;
+            }
+        }
+
+        // One sequential sweep of the matrix places both sides. Columns
+        // are visited ascending within each row and rows ascending
+        // overall, so equal costs keep ascending-id order — exactly the
+        // stable `(cost asc, id asc)` counting sort of `solve`.
+        for r in 0..n {
+            let row = &cost[r * m..(r + 1) * m];
+            let out = &mut row_ord[r * m..(r + 1) * m];
+            for (c, &cv) in row.iter().enumerate() {
+                debug_assert!((cv as usize) < stride, "cost {cv} breaches stride {stride}");
+                let slot = &mut row_hist[r * stride + cv as usize];
+                out[*slot as usize] = c as u32;
+                *slot += 1;
+                let cslot = &mut col_hist[c * stride + cv as usize];
+                col_ord[c * n + *cslot as usize] = r as u32;
+                *cslot += 1;
+            }
+        }
+
+        self.run_proposals(n, m, cost);
+        self.extract(n, m, cost);
+        &self.assign_row
+    }
+
+    /// The b ≡ 1 proposal rounds over `self.order`.
+    fn run_proposals(&mut self, n: usize, m: usize, cost: &[u32]) {
+        let verts = n + m;
+        self.suitor_cost.clear();
+        self.suitor_cost.resize(verts, 0);
+        self.suitor_from.clear();
+        self.suitor_from.resize(verts, NONE);
+        self.next.clear();
+        self.next.resize(verts, 0);
+        self.accepted.clear();
+        self.accepted.resize(verts, false);
+        self.stack.clear();
+        self.stack.extend(0..verts as u32);
+
+        while let Some(u32u) = self.stack.pop() {
+            let u = u32u as usize;
+            while !self.accepted[u] {
+                let nx = self.next[u] as usize;
+                let (v, c_uv) = if u < n {
+                    if nx >= m {
+                        break;
+                    }
+                    let c = self.order[u * m + nx] as usize;
+                    (n + c, cost[u * m + c])
+                } else {
+                    if nx >= n {
+                        break;
+                    }
+                    let r = self.order[n * m + (u - n) * n + nx] as usize;
+                    (r, cost[r * m + (u - n)])
+                };
+                self.next[u] += 1;
+                if self.suitor_from[v] == u32u {
+                    // Already a suitor of v; the generic path skips
+                    // without proposing again.
+                    continue;
+                }
+                let beats = self.suitor_from[v] == NONE
+                    || c_uv < self.suitor_cost[v]
+                    || (c_uv == self.suitor_cost[v] && u32u < self.suitor_from[v]);
+                if !beats {
+                    continue;
+                }
+                let evicted = self.suitor_from[v];
+                self.suitor_cost[v] = c_uv;
+                self.suitor_from[v] = u32u;
+                self.accepted[u] = true;
+                if evicted != NONE {
+                    self.accepted[evicted as usize] = false;
+                    self.stack.push(evicted);
+                }
+            }
+        }
+    }
+
+    /// Fills `self.assign_row` from the suitor state.
+    ///
+    /// The generic path walks vertices ascending, emits each suitor
+    /// edge once (deduplicating the unordered pair), and applies the
+    /// emissions in order. In the bipartite b ≡ 1 instance the only
+    /// possible duplicate is a mutual proposal: row r suitor of
+    /// column c while column c is suitor of row r — first seen from
+    /// the row side, so the column side skips exactly that case.
+    fn extract(&mut self, n: usize, m: usize, cost: &[u32]) {
+        let verts = n + m;
+        self.assign_row.clear();
+        self.assign_row.resize(n, NONE);
+        self.used.clear();
+        self.used.resize(m, false);
+        for v in 0..verts {
+            let from = self.suitor_from[v];
+            if from == NONE {
+                continue;
+            }
+            let (row, col) = if v < n {
+                (v, from as usize - n)
+            } else {
+                let r = from as usize;
+                if self.suitor_from[r] == v as u32 {
+                    continue; // mutual pair, already emitted at `v = r`
+                }
+                (r, v - n)
+            };
+            self.assign_row[row] = col as u32;
+            self.used[col] = true;
+        }
+
+        // Greedy completion for unmatched rows (rare), identical scan
+        // order to the generic path: first free column of minimum cost.
+        for r in 0..n {
+            if self.assign_row[r] != NONE {
+                continue;
+            }
+            let mut best: Option<(usize, u32)> = None;
+            for (c, &taken) in self.used.iter().enumerate() {
+                if taken {
+                    continue;
+                }
+                let v = cost[r * m + c];
+                if best.is_none_or(|(_, bv)| v < bv) {
+                    best = Some((c, v));
+                }
+            }
+            let (c, _) = best.expect("columns exhausted; rows <= cols guarantees a free column");
+            self.assign_row[r] = c as u32;
+            self.used[c] = true;
+        }
+    }
+
+    /// Fills `self.order` with every vertex's proposal order:
+    /// neighbours sorted by `(cost asc, id asc)` — the dense image of the
+    /// generic path's `(weight desc, id asc)` adjacency sort.
+    fn sort_neighbours(&mut self, n: usize, m: usize, cost: &[u32]) {
+        self.order.clear();
+        self.order.resize(2 * n * m, 0);
+        let max_cost = cost.iter().copied().max().unwrap_or(0) as usize;
+        let (row_ord, col_ord) = self.order.split_at_mut(n * m);
+        if max_cost <= 4 * (n + m).max(64) {
+            // Counting sort: histogram + exclusive prefix, then place
+            // ids ascending so equal costs keep ascending-id order.
+            let hist = &mut self.hist;
+            hist.clear();
+            hist.resize(max_cost + 1, 0);
+            for r in 0..n {
+                let row = &cost[r * m..(r + 1) * m];
+                hist.fill(0);
+                for &cv in row {
+                    hist[cv as usize] += 1;
+                }
+                let mut acc = 0u32;
+                for h in hist.iter_mut() {
+                    let count = *h;
+                    *h = acc;
+                    acc += count;
+                }
+                let out = &mut row_ord[r * m..(r + 1) * m];
+                for (c, &cv) in row.iter().enumerate() {
+                    let slot = &mut hist[cv as usize];
+                    out[*slot as usize] = c as u32;
+                    *slot += 1;
+                }
+            }
+            for c in 0..m {
+                hist.fill(0);
+                for r in 0..n {
+                    hist[cost[r * m + c] as usize] += 1;
+                }
+                let mut acc = 0u32;
+                for h in hist.iter_mut() {
+                    let count = *h;
+                    *h = acc;
+                    acc += count;
+                }
+                let out = &mut col_ord[c * n..(c + 1) * n];
+                for r in 0..n {
+                    let slot = &mut hist[cost[r * m + c] as usize];
+                    out[*slot as usize] = r as u32;
+                    *slot += 1;
+                }
+            }
+        } else {
+            // Sparse large costs: pack (cost, id) into one u64 key and
+            // let the unstable integer sort order them — keys are
+            // distinct, so the result is the same (cost asc, id asc).
+            let mut keys: Vec<u64> = Vec::with_capacity(n.max(m));
+            for r in 0..n {
+                keys.clear();
+                keys.extend((0..m).map(|c| (cost[r * m + c] as u64) << 32 | c as u64));
+                keys.sort_unstable();
+                let out = &mut row_ord[r * m..(r + 1) * m];
+                for (i, k) in keys.iter().enumerate() {
+                    out[i] = *k as u32;
+                }
+            }
+            for c in 0..m {
+                keys.clear();
+                keys.extend((0..n).map(|r| (cost[r * m + c] as u64) << 32 | r as u64));
+                keys.sort_unstable();
+                let out = &mut col_ord[c * n..(c + 1) * n];
+                for (i, k) in keys.iter().enumerate() {
+                    out[i] = *k as u32;
+                }
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`DenseBsuitor::solve`].
+///
+/// # Panics
+///
+/// Panics if `rows > cols` or `cost.len() != rows * cols`.
+pub fn bsuitor_assignment_ints(rows: usize, cols: usize, cost: &[u32]) -> Assignment {
+    DenseBsuitor::new().solve(rows, cols, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bsuitor_assignment, CostMatrix};
+    use fare_rt::rand::{Rng, SeedableRng};
+
+    fn generic_on_ints(rows: usize, cols: usize, cost: &[u32]) -> Assignment {
+        let cm = CostMatrix::from_vec(
+            rows,
+            cols,
+            cost.iter().map(|&v| v as f64).collect(),
+        );
+        bsuitor_assignment(&cm)
+    }
+
+    fn naive_hists(rows: usize, cols: usize, cost: &[u32], stride: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut row_hist = vec![0u32; rows * stride];
+        let mut col_hist = vec![0u32; cols * stride];
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = cost[r * cols + c] as usize;
+                row_hist[r * stride + v] += 1;
+                col_hist[c * stride + v] += 1;
+            }
+        }
+        (row_hist, col_hist)
+    }
+
+    #[test]
+    fn matches_generic_on_random_integer_matrices() {
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(17);
+        let mut solver = DenseBsuitor::new();
+        for trial in 0..60 {
+            let n = rng.gen_range(1..=12);
+            let m = rng.gen_range(n..=14);
+            let maxc = [1u32, 2, 5, 40][trial % 4];
+            let cost: Vec<u32> = (0..n * m).map(|_| rng.gen_range(0..=maxc)).collect();
+            let fast = solver.solve(n, m, &cost);
+            let slow = generic_on_ints(n, m, &cost);
+            assert_eq!(fast.assignment, slow.assignment, "trial {trial} ({n}x{m})");
+            assert_eq!(
+                fast.total_cost.to_bits(),
+                slow.total_cost.to_bits(),
+                "trial {trial} cost"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_assigned_matches_solve() {
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(41);
+        let mut solver = DenseBsuitor::new();
+        let mut hist_solver = DenseBsuitor::new();
+        for trial in 0..80 {
+            let n = rng.gen_range(1..=12);
+            let m = rng.gen_range(n..=14);
+            let maxc = [1u32, 3, 9, 31][trial % 4];
+            let stride = maxc as usize + 1;
+            let cost: Vec<u32> = (0..n * m).map(|_| rng.gen_range(0..=maxc)).collect();
+            let full = solver.solve(n, m, &cost);
+            let (mut rh, mut ch) = naive_hists(n, m, &cost, stride);
+            let assigned = hist_solver.solve_assigned(n, m, &cost, &mut rh, &mut ch, stride);
+            let want: Vec<u32> = full
+                .assignment
+                .iter()
+                .map(|c| c.expect("complete") as u32)
+                .collect();
+            assert_eq!(assigned, &want[..], "trial {trial} ({n}x{m})");
+        }
+    }
+
+    #[test]
+    fn matches_generic_on_large_costs_fallback_sort() {
+        let mut rng = fare_rt::rand::rngs::StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..=8);
+            let m = rng.gen_range(n..=10);
+            let cost: Vec<u32> = (0..n * m).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let fast = bsuitor_assignment_ints(n, m, &cost);
+            let slow = generic_on_ints(n, m, &cost);
+            assert_eq!(fast.assignment, slow.assignment, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn uniform_costs_complete_assignment() {
+        let sol = bsuitor_assignment_ints(5, 5, &[3; 25]);
+        assert!(sol.is_valid());
+        assert_eq!(sol.matched_count(), 5);
+        assert_eq!(sol.total_cost, 15.0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        let mut solver = DenseBsuitor::new();
+        let a = solver.solve(3, 7, &(0..21).map(|i| (i * 13 % 6) as u32).collect::<Vec<_>>());
+        let big: Vec<u32> = (0..64).map(|i| (i * 29 % 9) as u32).collect();
+        let b = solver.solve(8, 8, &big);
+        let b2 = bsuitor_assignment_ints(8, 8, &big);
+        assert!(a.is_valid());
+        assert_eq!(b.assignment, b2.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn rejects_tall_matrix() {
+        bsuitor_assignment_ints(3, 2, &[0; 6]);
+    }
+}

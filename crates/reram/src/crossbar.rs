@@ -1,3 +1,4 @@
+use fare_rt::json::{field, FromJson, Json, JsonError, ToJson};
 use fare_tensor::fixed::StuckPolarity;
 use fare_tensor::Matrix;
 
@@ -8,6 +9,14 @@ use fare_tensor::Matrix;
 /// read time (`read_binary`), matching how the simulator replays the same
 /// physical fault pattern against whatever matrix is currently
 /// programmed.
+///
+/// Fault state is kept in two synchronised representations: sparse
+/// per-row `(column, polarity)` lists (the query/serialisation format)
+/// and packed per-row `u64` bit planes, one for each polarity, which turn
+/// the mapping pipeline's mismatch counts into a handful of popcounts
+/// (see [`Crossbar::row_mismatch_packed`]). Fault totals are cached and
+/// a monotone [`Crossbar::fault_version`] counter is bumped on every
+/// mutation so callers can cache work keyed on fault state.
 ///
 /// # Example
 ///
@@ -21,14 +30,69 @@ use fare_tensor::Matrix;
 /// let read = xbar.read_binary(&stored, None);
 /// assert_eq!(read[(0, 1)], 1.0); // SA1 fabricated an edge
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Crossbar {
     n: usize,
+    /// `u64` words per packed row: `ceil(n / 64)`.
+    words: usize,
     /// Sparse per-row fault lists, each sorted by column.
     rows: Vec<Vec<(usize, StuckPolarity)>>,
+    /// Packed SA0 columns, row-major, `n * words` words.
+    sa0_bits: Vec<u64>,
+    /// Packed SA1 columns, row-major, `n * words` words.
+    sa1_bits: Vec<u64>,
+    /// Cached stuck-at-0 cell count.
+    sa0: usize,
+    /// Cached stuck-at-1 cell count.
+    sa1: usize,
+    /// Bumped on every `inject_fault` / `clear_faults`.
+    version: u64,
 }
 
-fare_rt::json_struct!(Crossbar { n, rows });
+/// Two crossbars are equal when their fault state is: the packed planes,
+/// counts and version are derived/bookkeeping state, not identity.
+impl PartialEq for Crossbar {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.rows == other.rows
+    }
+}
+
+impl ToJson for Crossbar {
+    fn to_json(&self) -> Json {
+        // Serialise only the semantic fields; the packed planes, cached
+        // counts and version counter are rebuilt on load.
+        Json::Obj(vec![
+            ("n".to_string(), self.n.to_json()),
+            ("rows".to_string(), self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Crossbar {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let n: usize = field(v, "n")?;
+        let rows: Vec<Vec<(usize, StuckPolarity)>> = field(v, "rows")?;
+        if rows.len() != n {
+            return Err(JsonError::new(format!(
+                "crossbar has {} fault rows for dimension {n}",
+                rows.len()
+            )));
+        }
+        let mut xbar = Crossbar::new(n);
+        for (r, row) in rows.into_iter().enumerate() {
+            for (c, pol) in row {
+                if c >= n {
+                    return Err(JsonError::new(format!(
+                        "fault column {c} out of range for crossbar {n}"
+                    )));
+                }
+                xbar.inject_fault(r, c, pol);
+            }
+        }
+        xbar.version = 0;
+        Ok(xbar)
+    }
+}
 
 impl Crossbar {
     /// Creates a fault-free `n × n` crossbar.
@@ -38,15 +102,27 @@ impl Crossbar {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "crossbar size must be positive");
+        let words = n.div_ceil(64);
         Self {
             n,
+            words,
             rows: vec![Vec::new(); n],
+            sa0_bits: vec![0; n * words],
+            sa1_bits: vec![0; n * words],
+            sa0: 0,
+            sa1: 0,
+            version: 0,
         }
     }
 
     /// Crossbar dimension.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// `u64` words per packed fault row (`ceil(n / 64)`).
+    pub fn words(&self) -> usize {
+        self.words
     }
 
     /// Marks cell `(r, c)` stuck. A second injection at the same cell
@@ -59,8 +135,49 @@ impl Crossbar {
         assert!(r < self.n && c < self.n, "fault ({r},{c}) out of range");
         let row = &mut self.rows[r];
         match row.binary_search_by_key(&c, |&(col, _)| col) {
-            Ok(i) => row[i].1 = polarity,
-            Err(i) => row.insert(i, (c, polarity)),
+            Ok(i) => {
+                let old = row[i].1;
+                row[i].1 = polarity;
+                if old != polarity {
+                    self.set_bit(old, r, c, false);
+                    self.dec_count(old);
+                    self.set_bit(polarity, r, c, true);
+                    self.inc_count(polarity);
+                }
+            }
+            Err(i) => {
+                row.insert(i, (c, polarity));
+                self.set_bit(polarity, r, c, true);
+                self.inc_count(polarity);
+            }
+        }
+        self.version += 1;
+    }
+
+    fn set_bit(&mut self, pol: StuckPolarity, r: usize, c: usize, on: bool) {
+        let plane = match pol {
+            StuckPolarity::StuckAtZero => &mut self.sa0_bits,
+            StuckPolarity::StuckAtOne => &mut self.sa1_bits,
+        };
+        let word = &mut plane[r * self.words + c / 64];
+        if on {
+            *word |= 1u64 << (c % 64);
+        } else {
+            *word &= !(1u64 << (c % 64));
+        }
+    }
+
+    fn inc_count(&mut self, pol: StuckPolarity) {
+        match pol {
+            StuckPolarity::StuckAtZero => self.sa0 += 1,
+            StuckPolarity::StuckAtOne => self.sa1 += 1,
+        }
+    }
+
+    fn dec_count(&mut self, pol: StuckPolarity) {
+        match pol {
+            StuckPolarity::StuckAtZero => self.sa0 -= 1,
+            StuckPolarity::StuckAtOne => self.sa1 -= 1,
         }
     }
 
@@ -82,27 +199,52 @@ impl Crossbar {
         &self.rows[r]
     }
 
-    /// Total number of stuck cells.
+    /// Total number of stuck cells (cached; O(1)).
     pub fn fault_count(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.sa0 + self.sa1
     }
 
-    /// Number of stuck-at-0 cells.
+    /// Number of stuck-at-0 cells (cached; O(1)).
     pub fn sa0_count(&self) -> usize {
-        self.count(StuckPolarity::StuckAtZero)
+        self.sa0
     }
 
-    /// Number of stuck-at-1 cells.
+    /// Number of stuck-at-1 cells (cached; O(1)).
     pub fn sa1_count(&self) -> usize {
-        self.count(StuckPolarity::StuckAtOne)
+        self.sa1
     }
 
-    fn count(&self, pol: StuckPolarity) -> usize {
-        self.rows
-            .iter()
-            .flat_map(|r| r.iter())
-            .filter(|&&(_, p)| p == pol)
-            .count()
+    /// Monotone counter bumped on every [`Crossbar::inject_fault`] /
+    /// [`Crossbar::clear_faults`] call. Callers caching derived work
+    /// (e.g. row-permutation solutions) can compare versions to detect
+    /// whether this crossbar's fault state may have changed. Overwriting
+    /// a cell with its existing polarity still bumps the version — a
+    /// spurious invalidation is safe, a missed one is not.
+    pub fn fault_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Physical rows that carry at least one fault, ascending.
+    pub fn faulty_rows(&self) -> Vec<usize> {
+        (0..self.n).filter(|&r| !self.rows[r].is_empty()).collect()
+    }
+
+    /// The packed SA0/SA1 fault planes (`n * words()` words each,
+    /// row-major). A clone of these slices is an exact content
+    /// fingerprint of the fault state: two crossbars of equal `n` with
+    /// equal planes have identical fault sets.
+    pub fn fault_bits(&self) -> (&[u64], &[u64]) {
+        (&self.sa0_bits, &self.sa1_bits)
+    }
+
+    /// Packed SA0 columns of physical row `r` (`words()` words).
+    pub fn sa0_row_bits(&self, r: usize) -> &[u64] {
+        &self.sa0_bits[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Packed SA1 columns of physical row `r` (`words()` words).
+    pub fn sa1_row_bits(&self, r: usize) -> &[u64] {
+        &self.sa1_bits[r * self.words..(r + 1) * self.words]
     }
 
     /// Removes all faults (fresh die).
@@ -110,6 +252,11 @@ impl Crossbar {
         for row in &mut self.rows {
             row.clear();
         }
+        self.sa0_bits.fill(0);
+        self.sa1_bits.fill(0);
+        self.sa0 = 0;
+        self.sa1 = 0;
+        self.version += 1;
     }
 
     /// Reads back a binary matrix stored on this crossbar.
@@ -215,17 +362,64 @@ impl Crossbar {
             })
             .count()
     }
+
+    /// Bitset equivalent of [`Crossbar::row_mismatch`] for a **full-width**
+    /// logical row packed into `words()` `u64`s (bit `c` set ⇔ the stored
+    /// value at column `c` is a 1; bits at `c ≥ n` must be zero):
+    ///
+    /// ```text
+    /// mismatches = Σ_w popcnt(sa0_w & row_w) + popcnt(sa1_w & !row_w)
+    /// ```
+    ///
+    /// The `!row_w` tail bits beyond `n` never contribute because the SA1
+    /// plane has no bits set there. Equals `row_mismatch` on the unpacked
+    /// `n`-wide row — pinned by a property test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical` is out of range or `row_bits` is not exactly
+    /// `words()` long.
+    pub fn row_mismatch_packed(&self, row_bits: &[u64], physical: usize) -> usize {
+        assert_eq!(row_bits.len(), self.words, "packed row width mismatch");
+        let base = physical * self.words;
+        let mut hits = 0u32;
+        for (w, &row) in row_bits.iter().enumerate() {
+            hits += (self.sa0_bits[base + w] & row).count_ones();
+            hits += (self.sa1_bits[base + w] & !row).count_ones();
+        }
+        hits as usize
+    }
+
+    /// Bitset equivalent of [`Crossbar::row_sa1_mismatch`]; same packing
+    /// contract as [`Crossbar::row_mismatch_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical` is out of range or `row_bits` is not exactly
+    /// `words()` long.
+    pub fn row_sa1_mismatch_packed(&self, row_bits: &[u64], physical: usize) -> usize {
+        assert_eq!(row_bits.len(), self.words, "packed row width mismatch");
+        let base = physical * self.words;
+        let mut hits = 0u32;
+        for (w, &row) in row_bits.iter().enumerate() {
+            hits += (self.sa1_bits[base + w] & !row).count_ones();
+        }
+        hits as usize
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::PackedRows;
 
     #[test]
     fn new_crossbar_fault_free() {
         let x = Crossbar::new(8);
         assert_eq!(x.fault_count(), 0);
         assert_eq!(x.fault_at(0, 0), None);
+        assert_eq!(x.fault_version(), 0);
+        assert!(x.faulty_rows().is_empty());
     }
 
     #[test]
@@ -241,6 +435,8 @@ mod tests {
         // Sorted by column.
         assert_eq!(x.row_faults(1)[0].0, 0);
         assert_eq!(x.row_faults(1)[1].0, 2);
+        assert_eq!(x.faulty_rows(), vec![1]);
+        assert_eq!(x.fault_version(), 2);
     }
 
     #[test]
@@ -249,7 +445,104 @@ mod tests {
         x.inject_fault(0, 0, StuckPolarity::StuckAtZero);
         x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
         assert_eq!(x.fault_count(), 1);
+        assert_eq!(x.sa0_count(), 0);
+        assert_eq!(x.sa1_count(), 1);
         assert_eq!(x.fault_at(0, 0), Some(StuckPolarity::StuckAtOne));
+        // The packed planes track the overwrite.
+        assert_eq!(x.sa0_row_bits(0)[0], 0);
+        assert_eq!(x.sa1_row_bits(0)[0], 1);
+    }
+
+    #[test]
+    fn cached_counts_match_recount() {
+        let mut rng = fare_rt::rng(5);
+        use fare_rt::rand::Rng;
+        let mut x = Crossbar::new(70); // straddles a word boundary
+        for _ in 0..200 {
+            let r = rng.gen_range(0..70);
+            let c = rng.gen_range(0..70);
+            let pol = if rng.gen_range(0..2) == 0 {
+                StuckPolarity::StuckAtZero
+            } else {
+                StuckPolarity::StuckAtOne
+            };
+            x.inject_fault(r, c, pol);
+        }
+        let recount: usize = (0..70).map(|r| x.row_faults(r).len()).collect::<Vec<_>>().iter().sum();
+        let sa0_recount = (0..70)
+            .flat_map(|r| x.row_faults(r).iter())
+            .filter(|&&(_, p)| p == StuckPolarity::StuckAtZero)
+            .count();
+        assert_eq!(x.fault_count(), recount);
+        assert_eq!(x.sa0_count(), sa0_recount);
+        assert_eq!(x.sa1_count(), recount - sa0_recount);
+        // Packed planes agree with the sparse lists cell by cell.
+        for r in 0..70 {
+            for c in 0..70 {
+                let bit0 = x.sa0_row_bits(r)[c / 64] >> (c % 64) & 1 == 1;
+                let bit1 = x.sa1_row_bits(r)[c / 64] >> (c % 64) & 1 == 1;
+                match x.fault_at(r, c) {
+                    Some(StuckPolarity::StuckAtZero) => assert!(bit0 && !bit1),
+                    Some(StuckPolarity::StuckAtOne) => assert!(bit1 && !bit0),
+                    None => assert!(!bit0 && !bit1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernels_match_slice_kernels() {
+        let mut rng = fare_rt::rng(9);
+        use fare_rt::rand::Rng;
+        for n in [8usize, 63, 64, 65, 128] {
+            let mut x = Crossbar::new(n);
+            for _ in 0..n {
+                let pol = if rng.gen_range(0..2) == 0 {
+                    StuckPolarity::StuckAtZero
+                } else {
+                    StuckPolarity::StuckAtOne
+                };
+                x.inject_fault(rng.gen_range(0..n), rng.gen_range(0..n), pol);
+            }
+            let block = Matrix::from_fn(n, n, |_, _| {
+                if rng.gen_range(0..3) == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            let packed = PackedRows::from_matrix(&block);
+            for p in 0..n {
+                for q in 0..n {
+                    assert_eq!(
+                        x.row_mismatch_packed(packed.row(p), q),
+                        x.row_mismatch(block.row(p), q),
+                        "mismatch kernel n={n} p={p} q={q}"
+                    );
+                    assert_eq!(
+                        x.row_sa1_mismatch_packed(packed.row(p), q),
+                        x.row_sa1_mismatch(block.row(p), q),
+                        "sa1 kernel n={n} p={p} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut x = Crossbar::new(4);
+        assert_eq!(x.fault_version(), 0);
+        x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        assert_eq!(x.fault_version(), 1);
+        // Same-polarity overwrite still bumps (conservative invalidation).
+        x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
+        assert_eq!(x.fault_version(), 2);
+        x.clear_faults();
+        assert_eq!(x.fault_version(), 3);
+        assert_eq!(x.fault_count(), 0);
+        assert_eq!(x.fault_bits().0.iter().all(|&w| w == 0), true);
+        assert_eq!(x.fault_bits().1.iter().all(|&w| w == 0), true);
     }
 
     #[test]
@@ -312,6 +605,23 @@ mod tests {
         x.inject_fault(0, 0, StuckPolarity::StuckAtOne);
         x.clear_faults();
         assert_eq!(x.fault_count(), 0);
+    }
+
+    #[test]
+    fn json_round_trip_rebuilds_derived_state() {
+        let mut x = Crossbar::new(70);
+        x.inject_fault(3, 65, StuckPolarity::StuckAtOne);
+        x.inject_fault(3, 2, StuckPolarity::StuckAtZero);
+        x.inject_fault(69, 0, StuckPolarity::StuckAtOne);
+        let text = fare_rt::json::to_string(&x).unwrap();
+        let back: Crossbar = fare_rt::json::from_str(&text).unwrap();
+        assert_eq!(back, x);
+        assert_eq!(back.fault_count(), 3);
+        assert_eq!(back.sa0_count(), 1);
+        assert_eq!(back.sa1_count(), 2);
+        assert_eq!(back.sa0_row_bits(3), x.sa0_row_bits(3));
+        assert_eq!(back.sa1_row_bits(3), x.sa1_row_bits(3));
+        assert_eq!(back.sa1_row_bits(69), x.sa1_row_bits(69));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 mod array;
 mod bist;
+pub mod bits;
 pub mod config;
 mod crossbar;
 pub mod energy;
@@ -52,6 +53,7 @@ pub mod weights;
 
 pub use array::CrossbarArray;
 pub use bist::{Bist, FaultMap};
+pub use bits::PackedRows;
 pub use config::ChipConfig;
 pub use crossbar::Crossbar;
 pub use fault::{poisson_sample, FaultSpec};

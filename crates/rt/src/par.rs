@@ -316,6 +316,54 @@ where
         .collect()
 }
 
+/// Like [`scoped_map`], but each worker chunk first builds a scratch
+/// value with `init()` and threads it through its items — the
+/// `map_init` pattern for solvers with reusable internal buffers
+/// (allocate once per worker, not once per item).
+///
+/// Determinism contract: `f`'s output must depend only on its item, not
+/// on scratch history, because chunk boundaries move with the thread
+/// count. Results are reassembled positionally, so the output order is
+/// always the input order.
+pub fn scoped_map_init<T, S, U, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut scratch = init();
+        return items.into_iter().map(|t| f(&mut scratch, t)).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    struct Slot<T, U> {
+        input: Vec<T>,
+        output: Vec<U>,
+    }
+    let mut slots: Vec<Mutex<Slot<T, U>>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        slots.push(Mutex::new(Slot { input: chunk, output: Vec::new() }));
+    }
+    run_batch(slots.len(), &|i| {
+        let mut slot = slots[i].lock().unwrap();
+        let input = std::mem::take(&mut slot.input);
+        let mut scratch = init();
+        slot.output = input.into_iter().map(|t| f(&mut scratch, t)).collect();
+    });
+    slots
+        .into_iter()
+        .flat_map(|s| s.into_inner().unwrap().output)
+        .collect()
+}
+
 /// An eager parallel iterator: `map` runs immediately on the pool.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -444,6 +492,28 @@ mod tests {
         let four: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(x)).collect();
         set_threads(0);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_and_preserves_order() {
+        for &threads in &[1usize, 2, 3, 8] {
+            set_threads(threads);
+            let items: Vec<usize> = (0..41).collect();
+            let out: Vec<usize> = scoped_map_init(
+                items,
+                || Vec::<usize>::new(),
+                |scratch, x| {
+                    // Scratch is reusable storage only — results never
+                    // depend on what earlier items left behind.
+                    scratch.clear();
+                    scratch.extend(0..=x);
+                    scratch.iter().sum()
+                },
+            );
+            let expect: Vec<usize> = (0..41).map(|x| x * (x + 1) / 2).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+        set_threads(0);
     }
 
     #[test]

@@ -38,10 +38,25 @@ echo "==> determinism suite across thread counts"
 FARE_RT_THREADS=1 cargo test -q --offline --test determinism
 FARE_RT_THREADS=4 cargo test -q --offline --test determinism
 
+echo "==> mapping fast-path equivalence across thread counts"
+# The mapping fast path promises bit-identical Mappings to the serial
+# reference oracle; re-run the pinning proptests under a serial and a
+# parallel pool.
+FARE_RT_THREADS=1 cargo test -q --offline -p fare-core --test proptests -- \
+    fast_path_bit_identical_to_reference incremental_refresh_bit_identical_to_full
+FARE_RT_THREADS=4 cargo test -q --offline -p fare-core --test proptests -- \
+    fast_path_bit_identical_to_reference incremental_refresh_bit_identical_to_full
+
 echo "==> compute-core bench smoke"
 BENCH_TMP="$(mktemp /tmp/bench_core.XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP"' EXIT
 cargo run -q --offline -p fare-bench --bin bench_core -- \
     --smoke --nodes 600 --out "$BENCH_TMP"
+
+echo "==> mapping bench smoke"
+BENCH_MAP_TMP="$(mktemp /tmp/bench_mapping.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP" "$BENCH_MAP_TMP"' EXIT
+cargo run -q --offline -p fare-bench --bin bench_mapping -- \
+    --smoke --out "$BENCH_MAP_TMP"
 
 echo "==> verify OK"

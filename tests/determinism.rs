@@ -6,7 +6,10 @@
 //! chunked results positionally, so the parallel experiment drivers and
 //! the mapping pipeline cannot reorder floating-point reductions.
 
-use fare::core::mapping::{map_adjacency, MappingConfig};
+use fare::core::mapping::{
+    map_adjacency, map_adjacency_cached, refresh_row_permutations,
+    refresh_row_permutations_cached, MappingConfig, RemapCache,
+};
 use fare::core::{FaultStrategy, TrainConfig, Trainer};
 use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
 use fare::reram::{CrossbarArray, FaultSpec};
@@ -70,6 +73,64 @@ fn mapping_identical_across_thread_counts() {
     let four = map_adjacency(&adj, &array, &cfg);
     fare_rt::par::set_threads(0);
     assert_eq!(one, four);
+}
+
+/// The incremental post-BIST refresh — cache hits for untouched
+/// crossbars, parallel re-solves for mutated ones — is bit-identical to
+/// the full recompute at 1, 2 and 8 threads.
+#[test]
+fn incremental_refresh_identical_across_thread_counts() {
+    use fare::matching::Matcher;
+    use fare::reram::StuckPolarity;
+
+    let mut rng = fare_rt::rng(22);
+    let adj = Matrix::from_fn(96, 96, |i, j| {
+        if i != j && (i * 17 + j * 5) % 13 == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let adj = adj.zip_map(&adj.transpose(), |a, b| if a + b > 0.0 { 1.0 } else { 0.0 });
+    let mut array = CrossbarArray::new(18, 32);
+    array.inject(&FaultSpec::density(0.04), &mut rng);
+    let cfg = MappingConfig::default();
+
+    let mut cache = RemapCache::new();
+    let mapping = map_adjacency_cached(&adj, &array, &cfg, &mut cache);
+
+    // Post-deployment BIST finds new faults on a subset of crossbars.
+    for j in [1usize, 7, 12] {
+        array
+            .crossbar_mut(j)
+            .inject_fault(j % 32, (3 * j) % 32, StuckPolarity::StuckAtOne);
+    }
+
+    let run = |t: usize| {
+        fare_rt::par::set_threads(t);
+        let mut c = cache.clone();
+        let incremental =
+            refresh_row_permutations_cached(&adj, &array, &mapping, cfg.matcher, &mut c);
+        let full = refresh_row_permutations(&adj, &array, &mapping, cfg.matcher);
+        (incremental, full)
+    };
+    let (inc1, full1) = run(1);
+    let (inc2, full2) = run(2);
+    let (inc8, full8) = run(8);
+    fare_rt::par::set_threads(0);
+    assert_eq!(inc1, full1, "incremental refresh must equal full recompute");
+    assert_eq!(inc1, inc2);
+    assert_eq!(inc1, inc8);
+    assert_eq!(full1, full2);
+    assert_eq!(full1, full8);
+
+    // Both matchers: the Hungarian refresh path is thread-invariant too.
+    fare_rt::par::set_threads(2);
+    let h2 = refresh_row_permutations(&adj, &array, &mapping, Matcher::Hungarian);
+    fare_rt::par::set_threads(1);
+    let h1 = refresh_row_permutations(&adj, &array, &mapping, Matcher::Hungarian);
+    fare_rt::par::set_threads(0);
+    assert_eq!(h1, h2);
 }
 
 /// Full training (which drives the parallel experiment plumbing through
