@@ -419,6 +419,7 @@ fn comparison(
             }
         }
     }
+    fare_obs::counters::CORE_EXPERIMENT_CELLS.add(jobs.len() as u64);
     let cells: Vec<AccuracyCell> = jobs
         .par_iter()
         .map(|&(wi, workload, strategy, density)| {

@@ -303,25 +303,30 @@ mod tests {
     #[test]
     fn fare_does_not_trail_unaware_under_faults() {
         let ds = Dataset::generate(DatasetKind::Ogbl, 6);
-        // Average 2 seeds to tame variance (3% density, 1:1 ratio).
-        let mean = |strategy: FaultStrategy| -> f64 {
-            (0..2)
+        // 3-seed median to tame variance (3% density, 1:1 ratio); per
+        // seed, FARe-vs-unaware swings from -0.06 to +0.06, but the
+        // median is stable (see EXPERIMENTS.md, "Tolerance bands").
+        let median = |strategy: FaultStrategy| -> f64 {
+            let mut aucs: Vec<f64> = (0..3)
                 .map(|t| {
                     run_link_prediction(&config(strategy, 0.03, 12), 6 + 100 * t, &ds).final_auc
                 })
-                .sum::<f64>()
-                / 2.0
+                .collect();
+            aucs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            aucs[1]
         };
-        let fare = mean(FaultStrategy::FaRe);
-        let unaware = mean(FaultStrategy::FaultUnaware);
+        let fare = median(FaultStrategy::FaRe);
+        let unaware = median(FaultStrategy::FaultUnaware);
+        // Tightened from -0.03 (PR 1, 2-seed mean): observed medians
+        // are FARe 0.570 vs unaware 0.555.
         assert!(
-            fare > unaware - 0.03,
+            fare > unaware - 0.01,
             "FARe AUC {fare:.3} should not trail unaware {unaware:.3}"
         );
-        // Clear of the 0.5 chance line despite the faults. FARe's AUC
-        // sits at ~0.52-0.54 across seeds at this scale, so the bar is
-        // 0.52 — separation from chance, not from the noise floor.
-        assert!(fare > 0.52, "FARe AUC under faults too low: {fare:.3}");
+        // Clear of the 0.5 chance line despite the faults. The median
+        // FARe AUC sits at ~0.57 at this scale, so the bar moves up to
+        // 0.54 (was 0.52) — separation from chance with real margin.
+        assert!(fare > 0.54, "FARe AUC under faults too low: {fare:.3}");
     }
 
     #[test]

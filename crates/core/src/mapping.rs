@@ -861,6 +861,16 @@ pub fn map_adjacency_cached(
     cfg: &MappingConfig,
     cache: &mut RemapCache,
 ) -> Mapping {
+    fare_obs::timers::CORE_MAPPING_MAP.time(|| map_adjacency_cached_inner(adj, array, cfg, cache))
+}
+
+fn map_adjacency_cached_inner(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    cfg: &MappingConfig,
+    cache: &mut RemapCache,
+) -> Mapping {
+    fare_obs::counters::CORE_MAPPINGS_BUILT.incr();
     let n = array.n();
     let (grid, blocks) = decompose(adj, n);
     let b = blocks.len();
@@ -928,6 +938,7 @@ pub fn map_adjacency_cached(
     let pairs: Vec<(usize, usize)> = (0..bc_count)
         .flat_map(|ci| (0..xc_count).map(move |cj| (ci, cj)))
         .collect();
+    fare_obs::counters::CORE_MAPPING_PAIRS_SOLVED.add(pairs.len() as u64);
     // The pair table needs only `(mismatch, sa1)` — `G₂` and the pruning
     // heuristic consume costs, never permutations — so the fan-out solve
     // skips permutation assembly (and its per-pair allocation) entirely.
@@ -1102,6 +1113,17 @@ pub fn refresh_row_permutations_cached(
     matcher: Matcher,
     cache: &mut RemapCache,
 ) -> Mapping {
+    fare_obs::timers::CORE_MAPPING_REFRESH
+        .time(|| refresh_row_permutations_cached_inner(adj, array, mapping, matcher, cache))
+}
+
+fn refresh_row_permutations_cached_inner(
+    adj: &Matrix,
+    array: &CrossbarArray,
+    mapping: &Mapping,
+    matcher: Matcher,
+    cache: &mut RemapCache,
+) -> Mapping {
     let n = array.n();
     assert_eq!(mapping.n, n, "mapping crossbar size mismatch");
     assert_eq!(
@@ -1122,6 +1144,9 @@ pub fn refresh_row_permutations_cached(
             None => misses.push((idx, p.block_row, p.block_col, p.crossbar)),
         }
     }
+    fare_obs::counters::CORE_REMAP_CACHE_HITS
+        .add((mapping.placements.len() - misses.len()) as u64);
+    fare_obs::counters::CORE_REMAP_CACHE_MISSES.add(misses.len() as u64);
 
     let solved = scoped_map_init(misses, G1Scratch::default, |scratch, (idx, br, bc, xi)| {
         let block = adj.block(br * n, bc * n, n, n);

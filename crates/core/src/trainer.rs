@@ -227,6 +227,11 @@ impl Trainer {
     ///
     /// Deterministic for a given `(config, seed, dataset)`.
     pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
+        fare_obs::timers::CORE_TRAINER_RUN.time(|| self.run_inner(dataset))
+    }
+
+    fn run_inner(&self, dataset: &Dataset) -> TrainOutcome {
+        fare_obs::counters::CORE_TRAINER_RUNS.incr();
         let cfg = &self.config;
         let mut rng = fare_rt::domain_rng(self.seed, "trainer");
         let n = cfg.crossbar_size;
@@ -327,6 +332,7 @@ impl Trainer {
         for epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f64;
             for state in &mut states {
+                fare_obs::counters::CORE_TRAINER_BATCHES.incr();
                 let (logits, cache) = model.forward(&state.view, &state.features, &reader);
                 let (loss, grad) =
                     masked_cross_entropy(&logits, &state.labels, &state.train_mask);
@@ -349,6 +355,7 @@ impl Trainer {
             // Post-deployment faults appear; BIST reveals them; FARe
             // refreshes its row permutations on the existing assignment Π.
             if per_epoch_extra > 0.0 && epoch + 1 < cfg.epochs {
+                fare_obs::counters::CORE_TRAINER_POST_INJECTIONS.incr();
                 let extra = FaultSpec::with_sa1_fraction(
                     per_epoch_extra,
                     cfg.fault_spec.sa1_fraction,
@@ -397,9 +404,12 @@ impl Trainer {
 
             // Epoch-end evaluation on the faulty hardware.
             let (train_acc, test_acc) = self.evaluate(&model, &reader, &states);
+            let loss = epoch_loss / num_batches.max(1) as f64;
+            fare_obs::counters::CORE_TRAINER_EPOCHS.incr();
+            fare_obs::record_epoch(epoch, loss, train_acc, test_acc);
             history.push(EpochStats {
                 epoch,
-                loss: epoch_loss / num_batches.max(1) as f64,
+                loss,
                 train_accuracy: train_acc,
                 test_accuracy: test_acc,
             });

@@ -24,6 +24,7 @@ use fare_tensor::Matrix;
 pub fn masked_accuracy(logits: &Matrix, labels: &[usize], mask: &[bool]) -> f64 {
     assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
     assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    fare_obs::counters::GNN_ACCURACY_EVALS.incr();
     let preds = logits.argmax_rows();
     let mut correct = 0usize;
     let mut total = 0usize;

@@ -277,6 +277,7 @@ impl Gnn {
             features.cols(),
             self.dims.input
         );
+        fare_obs::counters::GNN_FORWARD_CALLS.incr();
         let mut h = features.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
@@ -310,6 +311,7 @@ impl Gnn {
     /// Panics if `cache` does not match this model's layer count.
     pub fn backward(&self, view: &GraphView, cache: &ForwardCache, grad_logits: &Matrix) -> Gradients {
         assert_eq!(cache.caches.len(), self.layers.len(), "stale forward cache");
+        fare_obs::counters::GNN_BACKWARD_CALLS.incr();
         let mut per_layer = vec![Vec::new(); self.layers.len()];
         let mut grad = grad_logits.clone();
         for li in (0..self.layers.len()).rev() {

@@ -86,7 +86,7 @@ impl FromJson for Crossbar {
                         "fault column {c} out of range for crossbar {n}"
                     )));
                 }
-                xbar.inject_fault(r, c, pol);
+                xbar.place_fault(r, c, pol);
             }
         }
         xbar.version = 0;
@@ -132,6 +132,17 @@ impl Crossbar {
     ///
     /// Panics if `r` or `c` is out of range.
     pub fn inject_fault(&mut self, r: usize, c: usize, polarity: StuckPolarity) {
+        match polarity {
+            StuckPolarity::StuckAtZero => fare_obs::counters::RERAM_FAULTS_INJECTED_SA0.incr(),
+            StuckPolarity::StuckAtOne => fare_obs::counters::RERAM_FAULTS_INJECTED_SA1.incr(),
+        }
+        self.place_fault(r, c, polarity);
+    }
+
+    /// [`inject_fault`](Self::inject_fault) without telemetry: used when
+    /// rebuilding a crossbar from its serialised fault map, which is a
+    /// reconstruction, not a physical injection event.
+    fn place_fault(&mut self, r: usize, c: usize, polarity: StuckPolarity) {
         assert!(r < self.n && c < self.n, "fault ({r},{c}) out of range");
         let row = &mut self.rows[r];
         match row.binary_search_by_key(&c, |&(col, _)| col) {
@@ -249,6 +260,7 @@ impl Crossbar {
 
     /// Removes all faults (fresh die).
     pub fn clear_faults(&mut self) {
+        fare_obs::counters::RERAM_FAULTS_CLEARED.incr();
         for row in &mut self.rows {
             row.clear();
         }
@@ -287,6 +299,7 @@ impl Crossbar {
             assert_eq!(perm.len(), stored.rows(), "row permutation length mismatch");
             assert!(perm.iter().all(|&p| p < self.n), "row permutation out of range");
         }
+        fare_obs::counters::RERAM_CROSSBARS_CORRUPTED.incr();
         let mut out = stored.clone();
         for logical in 0..stored.rows() {
             let physical = row_perm.map_or(logical, |p| p[logical]);

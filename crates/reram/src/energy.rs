@@ -48,6 +48,7 @@ fare_rt::json_struct!(EnergyReport { tiles, area_mm2, power_w, exec_time_s, ener
 /// ```
 pub fn estimate(config: &ChipConfig, crossbars: usize, pipeline: &PipelineSpec) -> EnergyReport {
     assert!(crossbars > 0, "need at least one crossbar");
+    fare_obs::counters::RERAM_ENERGY_ESTIMATES.incr();
     let tiles = config.tiles_for(crossbars);
     let power_w = config.chip_power_w(tiles);
     let exec_time_s = pipeline.epochs as f64

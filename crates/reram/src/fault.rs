@@ -107,6 +107,7 @@ impl Default for FaultSpec {
 /// Panics if `lambda` is negative or non-finite.
 pub fn poisson_sample(lambda: f64, rng: &mut impl Rng) -> usize {
     assert!(lambda.is_finite() && lambda >= 0.0, "invalid lambda {lambda}");
+    fare_obs::counters::RERAM_POISSON_SAMPLES.incr();
     if lambda == 0.0 {
         return 0;
     }

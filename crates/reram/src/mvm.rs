@@ -82,6 +82,8 @@ pub fn crossbar_mvm(fabric: &WeightFabric, weights: &Matrix, x: &[f32]) -> MvmOu
     // keeps the cycle accounting honest.
     let input_bits = 16usize;
     let cycles = input_bits * CELLS_PER_WORD;
+    fare_obs::counters::RERAM_MVM_CALLS.incr();
+    fare_obs::counters::RERAM_MVM_CYCLES.add(cycles as u64);
 
     let mut output = vec![0.0f32; cols];
     accumulate_columns(&stored, &x_q, &mut output);
@@ -131,6 +133,8 @@ pub fn crossbar_matmul(fabric: &WeightFabric, weights: &Matrix, input: &Matrix) 
     assert_eq!(input.cols(), rows, "input width must equal weight rows");
     let fmt = fabric.format();
     let stored = fabric.corrupt(weights);
+    fare_obs::counters::RERAM_MATMUL_CALLS.incr();
+    fare_obs::counters::RERAM_MATMUL_ROWS.add(input.rows() as u64);
     let mut out = Matrix::zeros(input.rows(), cols);
     if cols == 0 {
         return out;

@@ -80,6 +80,9 @@ fare_rt::json_struct!(SimResult { total_cycles, busy_cycles, utilization });
 /// previous epoch fully drains and its service cycles elapse) — matching
 /// the paper's per-epoch formula.
 pub fn simulate(schedule: &Schedule) -> SimResult {
+    fare_obs::counters::RERAM_PIPELINE_SIMS.incr();
+    fare_obs::counters::RERAM_PIPELINE_BATCHES
+        .add((schedule.epochs * schedule.batches) as u64);
     let s = schedule.stages;
     let mut total_cycles = 0usize;
     let mut busy_slots = 0usize;

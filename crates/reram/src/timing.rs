@@ -106,6 +106,7 @@ impl TimingModel {
 
     /// All four times normalised to the fault-free baseline.
     pub fn normalized(&self) -> NormalizedTimes {
+        fare_obs::counters::RERAM_TIMING_EVALS.incr();
         let base = self.fault_free();
         NormalizedTimes {
             fault_free: 1.0,

@@ -1,0 +1,169 @@
+//! Hand-computed closed-form checks for the timing, pipeline and energy
+//! models (ISSUE 4 satellite).
+//!
+//! Every expected value below is worked out by hand from the model
+//! definitions — not by calling the code under test with different
+//! arguments — so a silent constant or formula change cannot slip
+//! through. Geometry used throughout is small enough to trace on paper.
+
+use fare_reram::energy::{estimate, overprovisioning_cost};
+use fare_reram::pipeline::{simulate, Schedule};
+use fare_reram::timing::{PipelineSpec, TimingModel};
+use fare_reram::ChipConfig;
+
+const EPS: f64 = 1e-12;
+
+// ---------------------------------------------------------------------------
+// timing.rs — analytical per-strategy execution times
+// ---------------------------------------------------------------------------
+
+/// E = 4 epochs, N = 6 batches, S = 3 stages, τ = 2 ms.
+fn timing_model() -> TimingModel {
+    TimingModel::new(PipelineSpec::new(6, 3, 2e-3, 4))
+}
+
+#[test]
+fn timing_fault_free_closed_form() {
+    // E·(N+S−1)·τ = 4 · 8 · 0.002 = 0.064 s.
+    assert!((timing_model().fault_free() - 0.064).abs() < EPS);
+}
+
+#[test]
+fn timing_clipping_closed_form() {
+    // One extra stage: E·(N+S)·τ = 4 · 9 · 0.002 = 0.072 s.
+    assert!((timing_model().clipping() - 0.072).abs() < EPS);
+}
+
+#[test]
+fn timing_neuron_reordering_closed_form() {
+    // Per epoch (N+S−1) + N·3 stalls = 8 + 18 = 26 stage-slots:
+    // 4 · 26 · 0.002 = 0.208 s.
+    assert!((timing_model().neuron_reordering() - 0.208).abs() < EPS);
+}
+
+#[test]
+fn timing_fare_closed_form() {
+    // clipping·(1 + 0.0013) + 0.01·fault_free
+    //   = 0.072 · 1.0013 + 0.00064 = 0.0727336 s.
+    assert!((timing_model().fare() - 0.0727336).abs() < EPS);
+}
+
+#[test]
+fn timing_normalized_closed_form() {
+    let t = timing_model().normalized();
+    assert_eq!(t.fault_free, 1.0);
+    // 9/8 and 26/8 exactly; FARe = 0.0727336 / 0.064.
+    assert!((t.clipping - 1.125).abs() < EPS);
+    assert!((t.neuron_reordering - 3.25).abs() < EPS);
+    assert!((t.fare - 1.1364625).abs() < EPS);
+    assert!((t.fare_speedup_over_nr() - 3.25 / 1.1364625).abs() < EPS);
+}
+
+// ---------------------------------------------------------------------------
+// pipeline.rs — discrete-event fill/drain latency, traced by hand
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pipeline_single_batch_is_pure_fill_drain() {
+    // One batch through S = 5 stages: occupies cycles 0..5, total 5,
+    // every cycle busy, utilisation 5 busy-slots / (5 stages × 5) = 1/5.
+    let sim = simulate(&Schedule::new(1, 5, 1));
+    assert_eq!(sim.total_cycles, 5);
+    assert_eq!(sim.busy_cycles, 5);
+    assert!((sim.utilization - 0.2).abs() < EPS);
+}
+
+#[test]
+fn pipeline_ideal_trace_three_batches() {
+    // N = 3, S = 4: issues at cycles 0,1,2; last batch drains at
+    // 2 + 4 = 6. Batch k occupies [k, k+4), so all 6 cycles are busy;
+    // busy-slots = 3·4 = 12, utilisation 12/(4·6) = 0.5.
+    let sim = simulate(&Schedule::new(3, 4, 1));
+    assert_eq!(sim.total_cycles, 6);
+    assert_eq!(sim.busy_cycles, 6);
+    assert!((sim.utilization - 0.5).abs() < EPS);
+}
+
+#[test]
+fn pipeline_stall_trace() {
+    // N = 3, S = 2, 2 stall cycles after each non-final batch:
+    // issues at 0, 3, 6; total = 6 + 2 = 8. Busy cycles are
+    // [0,2) ∪ [3,5) ∪ [6,8) = 6 of them; slots 3·2 = 6 → 6/16.
+    let sim = simulate(&Schedule::new(3, 2, 1).with_stalls(2));
+    assert_eq!(sim.total_cycles, 8);
+    assert_eq!(sim.busy_cycles, 6);
+    assert!((sim.utilization - 0.375).abs() < EPS);
+}
+
+#[test]
+fn pipeline_epoch_service_trace() {
+    // N = 2, S = 3, E = 2, 5 service cycles per epoch. Per epoch:
+    // issues 0,1; drain 1 + 3 = 4; epoch length 4 + 5 = 9 → total 18.
+    // Busy: cycles 0..4 each epoch = 8; slots 2·3·2 = 12 → 12/(3·18).
+    let sim = simulate(&Schedule::new(2, 3, 2).with_epoch_service(5));
+    assert_eq!(sim.total_cycles, 18);
+    assert_eq!(sim.busy_cycles, 8);
+    assert!((sim.utilization - 12.0 / 54.0).abs() < EPS);
+}
+
+#[test]
+fn pipeline_agrees_with_analytical_depth_formula() {
+    // The ideal simulator must land exactly on the E·(N+S−1) slots the
+    // timing model charges — same geometry as `timing_model()` above.
+    let sim = simulate(&Schedule::new(6, 3, 4));
+    assert_eq!(sim.total_cycles, 4 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// energy.rs — per-tile sums on Table III constants
+// ---------------------------------------------------------------------------
+
+/// N = 10, S = 3, τ = 1 ms, E = 2 → exec = 2·12·0.001 = 0.024 s.
+fn energy_pipeline() -> PipelineSpec {
+    PipelineSpec::new(10, 3, 1e-3, 2)
+}
+
+#[test]
+fn energy_single_tile_closed_form() {
+    // 96 crossbars = exactly one 0.34 W / 0.157 mm² tile; BIST adds
+    // 0.13 % area. Energy = 0.34 W · 0.024 s = 0.00816 J.
+    let r = estimate(&ChipConfig::date2024(), 96, &energy_pipeline());
+    assert_eq!(r.tiles, 1);
+    assert!((r.exec_time_s - 0.024).abs() < EPS);
+    assert!((r.power_w - 0.34).abs() < EPS);
+    assert!((r.energy_j - 0.00816).abs() < EPS);
+    assert!((r.area_mm2 - 0.157 * 1.0013).abs() < EPS);
+}
+
+#[test]
+fn energy_three_tile_sums() {
+    // 200 crossbars → ⌈200/96⌉ = 3 tiles: power, area and energy are
+    // per-tile sums (time does not change with provisioning).
+    let r = estimate(&ChipConfig::date2024(), 200, &energy_pipeline());
+    assert_eq!(r.tiles, 3);
+    assert!((r.power_w - 1.02).abs() < EPS);
+    assert!((r.area_mm2 - 3.0 * 0.157 * 1.0013).abs() < EPS);
+    assert!((r.exec_time_s - 0.024).abs() < EPS);
+    assert!((r.energy_j - 3.0 * 0.00816).abs() < EPS);
+}
+
+#[test]
+fn overprovisioning_within_tile_granularity_is_free() {
+    // 100 crossbars already need 2 tiles; 1.9× slack → 190 crossbars,
+    // still 2 tiles → area ratio exactly 1.
+    let cfg = ChipConfig::date2024();
+    let (base, prov, ratio) = overprovisioning_cost(&cfg, 100, 1.9, &energy_pipeline());
+    assert_eq!(base.tiles, 2);
+    assert_eq!(prov.tiles, 2);
+    assert!((ratio - 1.0).abs() < EPS);
+}
+
+#[test]
+fn overprovisioning_across_tile_boundary_doubles() {
+    // 96 crossbars fit one tile; 1.05× slack → 101 crossbars → 2 tiles.
+    let cfg = ChipConfig::date2024();
+    let (base, prov, ratio) = overprovisioning_cost(&cfg, 96, 1.05, &energy_pipeline());
+    assert_eq!(base.tiles, 1);
+    assert_eq!(prov.tiles, 2);
+    assert!((ratio - 2.0).abs() < EPS);
+}

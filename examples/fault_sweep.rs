@@ -2,13 +2,21 @@
 //! stuck-at-fault density rises from 0 to 5 % — the scenario motivating
 //! the paper's introduction (edge accelerators with imperfect ReRAM).
 //!
+//! Prints the accuracy-vs-density table, then the instrumented
+//! [`fare::obs::RunManifest`] summary of the harshest FARe cell (5 %
+//! density): faults injected per polarity, crossbars corrupted,
+//! mappings solved and remap-cache traffic, instead of ad-hoc tallies.
+//!
 //! Run with: `cargo run --release --example fault_sweep [-- --ratio 1:1]`
+//! (`-- --smoke` for the reduced verify.sh geometry)
 
 use fare::core::{run_fault_free, FaultStrategy, TrainConfig, Trainer};
 use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare::obs::{self, ClockMode, Mode};
 use fare::reram::FaultSpec;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let ratio_arg = std::env::args()
         .skip_while(|a| a != "--ratio")
         .nth(1)
@@ -21,23 +29,31 @@ fn main() {
             0.1
         }
     };
+    obs::set_mode(Mode::Json);
+    obs::set_clock(ClockMode::Fixed(1_000));
 
     let seed = 42;
-    let dataset = Dataset::generate(DatasetKind::Amazon2M, seed);
+    let (kind, epochs, densities): (_, _, &[f64]) = if smoke {
+        (DatasetKind::Ppi, 4, &[0.0, 0.05])
+    } else {
+        (DatasetKind::Amazon2M, 25, &[0.0, 0.01, 0.02, 0.03, 0.04, 0.05])
+    };
+    let dataset = Dataset::generate(kind, seed);
     let base = TrainConfig {
         model: ModelKind::Sage,
-        epochs: 25,
+        epochs,
         ..TrainConfig::default()
     };
 
     let ideal = run_fault_free(&base, seed, &dataset);
     println!(
-        "Amazon2M + SAGE, SA0:SA1 = {ratio_arg}; fault-free test accuracy {:.3}",
+        "{kind:?} + SAGE, SA0:SA1 = {ratio_arg}; fault-free test accuracy {:.3}",
         ideal.final_test_accuracy
     );
     println!("{:>8} {:>14} {:>8} {:>10} {:>8}", "density", "fault-unaware", "NR", "clipping", "FARe");
 
-    for density in [0.0, 0.01, 0.02, 0.03, 0.04, 0.05] {
+    let mut worst_fare_manifest = None;
+    for &density in densities {
         let mut row = format!("{:>7.0}%", density * 100.0);
         for strategy in FaultStrategy::all() {
             let config = TrainConfig {
@@ -45,7 +61,22 @@ fn main() {
                 strategy,
                 ..base
             };
+            obs::reset();
             let out = Trainer::new(config, seed).run(&dataset);
+            if strategy == FaultStrategy::FaRe && density == *densities.last().unwrap() {
+                worst_fare_manifest = Some(
+                    obs::RunManifest::capture(
+                        &format!("fault_sweep/fare@{:.0}%", density * 100.0),
+                        seed,
+                        &config,
+                    )
+                    .with_bench("final_test_accuracy", out.final_test_accuracy)
+                    .with_bench(
+                        "accuracy_vs_fault_free",
+                        out.final_test_accuracy - ideal.final_test_accuracy,
+                    ),
+                );
+            }
             let width = match strategy {
                 FaultStrategy::FaultUnaware => 14,
                 FaultStrategy::NeuronReordering => 8,
@@ -57,5 +88,8 @@ fn main() {
         println!("{row}");
     }
     println!();
+    if let Some(manifest) = worst_fare_manifest {
+        println!("{}", manifest.summary());
+    }
     println!("Expected shape (paper Fig. 5): fault-unaware decays fastest; FARe stays near the fault-free line even at 5%.");
 }

@@ -38,6 +38,14 @@ echo "==> determinism suite across thread counts"
 FARE_RT_THREADS=1 cargo test -q --offline --test determinism
 FARE_RT_THREADS=4 cargo test -q --offline --test determinism
 
+echo "==> golden telemetry trace across thread counts"
+# The committed golden manifest (tests/golden/golden_trace.json) must be
+# reproduced bit-for-bit on a serial and a parallel pool: counters count
+# logical events and the telemetry clock is fixed, so the trace may not
+# depend on worker count.
+FARE_RT_THREADS=1 cargo test -q --offline --test golden_trace
+FARE_RT_THREADS=4 cargo test -q --offline --test golden_trace
+
 echo "==> mapping fast-path equivalence across thread counts"
 # The mapping fast path promises bit-identical Mappings to the serial
 # reference oracle; re-run the pinning proptests under a serial and a
@@ -58,5 +66,11 @@ BENCH_MAP_TMP="$(mktemp /tmp/bench_mapping.XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP" "$BENCH_MAP_TMP"' EXIT
 cargo run -q --offline -p fare-bench --bin bench_mapping -- \
     --smoke --out "$BENCH_MAP_TMP"
+
+echo "==> example smoke (RunManifest summaries)"
+# The examples double as executable documentation for the telemetry
+# layer; make sure they keep running end to end.
+cargo run -q --offline --example post_deployment -- --smoke > /dev/null
+cargo run -q --offline --example fault_sweep -- --smoke --ratio 1:1 > /dev/null
 
 echo "==> verify OK"

@@ -16,7 +16,10 @@
 //! - [`gnn`] — GCN / GAT / GraphSAGE models with manual backprop and a
 //!   pluggable (ideal vs faulty) matrix–vector backend,
 //! - [`core`] — the FARe mapping algorithm (Algorithm 1), weight
-//!   clipping, the baselines and the experiment runners.
+//!   clipping, the baselines and the experiment runners,
+//! - [`obs`] — the telemetry layer: named monotonic counters, span
+//!   timers, per-epoch metric sinks and [`obs::RunManifest`] run
+//!   manifests (enable with `FARE_OBS=json` or `obs::set_mode`).
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 
 pub use fare_core as core;
 pub use fare_gnn as gnn;
+pub use fare_obs as obs;
 pub use fare_graph as graph;
 pub use fare_matching as matching;
 pub use fare_reram as reram;

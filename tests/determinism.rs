@@ -6,14 +6,27 @@
 //! chunked results positionally, so the parallel experiment drivers and
 //! the mapping pipeline cannot reorder floating-point reductions.
 
+use std::sync::Mutex;
+
 use fare::core::mapping::{
     map_adjacency, map_adjacency_cached, refresh_row_permutations,
     refresh_row_permutations_cached, MappingConfig, RemapCache,
 };
 use fare::core::{FaultStrategy, TrainConfig, Trainer};
 use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare::obs::{self, ClockMode, Mode};
 use fare::reram::{CrossbarArray, FaultSpec};
 use fare::tensor::Matrix;
+
+/// Telemetry mode and counters are process-global. The counter gates
+/// below flip the mode to `Json`; any instrumented work running
+/// concurrently in this binary would pollute their manifests, so every
+/// test here takes this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn quick_config() -> TrainConfig {
     TrainConfig {
@@ -28,6 +41,7 @@ fn quick_config() -> TrainConfig {
 /// Same-seed GCN training yields bit-identical loss trajectories.
 #[test]
 fn same_seed_training_is_bit_identical() {
+    let _g = lock();
     let ds = Dataset::generate(DatasetKind::Ppi, 11);
     let a = Trainer::new(quick_config(), 11).run(&ds);
     let b = Trainer::new(quick_config(), 11).run(&ds);
@@ -44,6 +58,7 @@ fn same_seed_training_is_bit_identical() {
 /// silently ignored anywhere in the pipeline).
 #[test]
 fn different_seeds_diverge() {
+    let _g = lock();
     let ds = Dataset::generate(DatasetKind::Ppi, 11);
     let a = Trainer::new(quick_config(), 11).run(&ds);
     let b = Trainer::new(quick_config(), 12).run(&ds);
@@ -54,6 +69,7 @@ fn different_seeds_diverge() {
 /// same placement on 1 thread and 4 threads.
 #[test]
 fn mapping_identical_across_thread_counts() {
+    let _g = lock();
     let mut rng = fare_rt::rng(21);
     let adj = Matrix::from_fn(96, 96, |i, j| {
         if i != j && (i * 13 + j * 7) % 11 == 0 {
@@ -80,6 +96,7 @@ fn mapping_identical_across_thread_counts() {
 /// the full recompute at 1, 2 and 8 threads.
 #[test]
 fn incremental_refresh_identical_across_thread_counts() {
+    let _g = lock();
     use fare::matching::Matcher;
     use fare::reram::StuckPolarity;
 
@@ -138,6 +155,7 @@ fn incremental_refresh_identical_across_thread_counts() {
 /// invariant end to end.
 #[test]
 fn training_identical_across_thread_counts() {
+    let _g = lock();
     let ds = Dataset::generate(DatasetKind::Ppi, 13);
     fare_rt::par::set_threads(1);
     let one = Trainer::new(quick_config(), 13).run(&ds);
@@ -156,6 +174,7 @@ fn training_identical_across_thread_counts() {
 /// output rows, so no floating-point reduction can be reordered.
 #[test]
 fn compute_kernels_identical_across_thread_counts() {
+    let _g = lock();
     use fare::graph::{generate, CsrMatrix, GraphView};
     use fare::reram::mvm::crossbar_matmul;
     use fare::reram::weights::WeightFabric;
@@ -196,4 +215,60 @@ fn compute_kernels_identical_across_thread_counts() {
         assert_eq!(bits(serial), bits(&two[k]), "kernel {k} differs at 2 threads");
         assert_eq!(bits(serial), bits(&eight[k]), "kernel {k} differs at 8 threads");
     }
+}
+
+/// Counter-determinism gate: the telemetry manifest — every counter,
+/// timer and per-epoch record — is bit-identical on a serial and a
+/// 4-worker pool. Counters count *logical* events (faults injected,
+/// epochs run, cache hits), never per-chunk worker activity, and the
+/// fixed clock removes wall time, so nothing in the manifest may depend
+/// on how work was chunked.
+#[test]
+fn telemetry_manifest_identical_across_thread_counts() {
+    let _g = lock();
+    let ds = Dataset::generate(DatasetKind::Ppi, 17);
+    let capture = |t: usize| {
+        fare_rt::par::set_threads(t);
+        obs::set_mode(Mode::Json);
+        obs::set_clock(ClockMode::Fixed(500));
+        obs::reset();
+        let out = Trainer::new(quick_config(), 17).run(&ds);
+        let manifest = obs::RunManifest::capture("determinism", 17, &quick_config())
+            .with_bench("final_test_accuracy", out.final_test_accuracy);
+        obs::set_clock(ClockMode::Wall);
+        obs::set_mode(Mode::Off);
+        obs::reset();
+        (out, manifest.to_json_pretty())
+    };
+    let (out1, manifest1) = capture(1);
+    let (out4, manifest4) = capture(4);
+    fare_rt::par::set_threads(0);
+    assert_eq!(out1, out4, "training output differs across thread counts");
+    assert_eq!(
+        manifest1, manifest4,
+        "telemetry manifest differs across thread counts"
+    );
+}
+
+/// Disabled telemetry is a pure observer: turning it off changes no bit
+/// of the training output (counters sit behind a relaxed-atomic mode
+/// check and never feed back into the computation).
+#[test]
+fn disabled_telemetry_does_not_perturb_training() {
+    let _g = lock();
+    let ds = Dataset::generate(DatasetKind::Ppi, 19);
+
+    obs::set_mode(Mode::Off);
+    obs::reset();
+    let off = Trainer::new(quick_config(), 19).run(&ds);
+
+    obs::set_mode(Mode::Json);
+    obs::set_clock(ClockMode::Fixed(500));
+    obs::reset();
+    let on = Trainer::new(quick_config(), 19).run(&ds);
+    obs::set_clock(ClockMode::Wall);
+    obs::set_mode(Mode::Off);
+    obs::reset();
+
+    assert_eq!(off, on, "telemetry fed back into the training computation");
 }

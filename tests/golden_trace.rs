@@ -1,0 +1,137 @@
+//! Golden-trace regression net (ISSUE 4 tentpole).
+//!
+//! One small seeded GCN training run — FARe strategy, pre- *and*
+//! post-deployment faults, so the fast paths (packed fault kernels,
+//! `RemapCache`, incremental refresh) are all exercised — captured as a
+//! [`fare::obs::RunManifest`]: the per-epoch loss/accuracy curve plus
+//! every non-zero telemetry counter, serialised to lossless JSON and
+//! compared **byte for byte** against a committed snapshot.
+//!
+//! "Did the fast path change behaviour?" is now a single diffable test:
+//! any change to fault injection order, mapping decisions, cache hit
+//! patterns, kernel call counts or the training trajectory shows up as
+//! a snapshot diff.
+//!
+//! The manifest uses the fixed telemetry clock (`ClockMode::Fixed`), so
+//! it is bit-identical at any `FARE_RT_THREADS` — `scripts/verify.sh`
+//! re-runs this test under 1 and 4 worker threads.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! FARE_GOLDEN_UPDATE=1 cargo test --test golden_trace
+//! ```
+//!
+//! then commit the diff of `tests/golden/golden_trace.json` along with
+//! an explanation of why the trace moved (see DESIGN.md §7).
+
+use std::sync::Mutex;
+
+use fare::core::{FaultStrategy, TrainConfig, Trainer};
+use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare::obs::{self, ClockMode, Mode};
+use fare::reram::FaultSpec;
+
+/// Committed snapshot (compiled in, so the test is cwd-independent).
+const SNAPSHOT: &str = include_str!("golden/golden_trace.json");
+
+/// Telemetry state is process-global; serialise the tests that touch it.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const GOLDEN_SEED: u64 = 7;
+
+fn golden_config() -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Gcn,
+        epochs: 5,
+        fault_spec: FaultSpec::with_sa1_fraction(0.03, 0.5),
+        post_deployment_density: 0.01,
+        strategy: FaultStrategy::FaRe,
+        ..TrainConfig::default()
+    }
+}
+
+/// Runs the golden workload under deterministic telemetry and captures
+/// its manifest. Leaves telemetry off afterwards.
+fn capture_golden_manifest() -> obs::RunManifest {
+    obs::set_mode(Mode::Json);
+    obs::set_clock(ClockMode::Fixed(1_000));
+    obs::reset();
+    let dataset = Dataset::generate(DatasetKind::Ppi, GOLDEN_SEED);
+    let outcome = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
+    let manifest = obs::RunManifest::capture("golden_trace", GOLDEN_SEED, &golden_config())
+        .with_bench("final_test_accuracy", outcome.final_test_accuracy)
+        .with_bench("best_test_accuracy", outcome.best_test_accuracy)
+        .with_bench("final_mapping_cost", outcome.final_mapping_cost as f64)
+        .with_bench("normalized_time", outcome.normalized_time);
+    obs::set_clock(ClockMode::Wall);
+    obs::set_mode(Mode::Off);
+    obs::reset();
+    manifest
+}
+
+/// The golden run's manifest matches the committed snapshot exactly.
+#[test]
+fn golden_trace_matches_committed_snapshot() {
+    let _g = lock();
+    let text = capture_golden_manifest().to_json_pretty() + "\n";
+    if std::env::var("FARE_GOLDEN_UPDATE").as_deref() == Ok("1") {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/golden_trace.json"
+        );
+        std::fs::write(path, &text).expect("write golden snapshot");
+        eprintln!("golden_trace: snapshot regenerated at {path}");
+        return;
+    }
+    assert_eq!(
+        text, SNAPSHOT,
+        "golden trace diverged from tests/golden/golden_trace.json; if the \
+         behaviour change is intentional, regenerate with \
+         FARE_GOLDEN_UPDATE=1 cargo test --test golden_trace"
+    );
+}
+
+/// The manifest — counters, timers, epoch curve — is bit-identical on a
+/// serial and a 4-worker pool: counters count logical events, not
+/// per-chunk work, and the fixed clock keeps timers exact.
+#[test]
+fn golden_trace_bit_identical_across_thread_counts() {
+    let _g = lock();
+    fare_rt::par::set_threads(1);
+    let one = capture_golden_manifest().to_json_pretty();
+    fare_rt::par::set_threads(4);
+    let four = capture_golden_manifest().to_json_pretty();
+    fare_rt::par::set_threads(0);
+    assert_eq!(one, four, "telemetry manifest differs across thread counts");
+}
+
+/// `FARE_OBS=off` must be a pure observer: disabling telemetry changes
+/// no bit of the training output, and records nothing.
+#[test]
+fn disabled_telemetry_runs_are_identical_and_silent() {
+    let _g = lock();
+    let dataset = Dataset::generate(DatasetKind::Ppi, GOLDEN_SEED);
+
+    obs::set_mode(Mode::Off);
+    obs::reset();
+    let off = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
+    let silent = obs::RunManifest::capture("off", GOLDEN_SEED, &golden_config());
+    assert!(silent.counters.is_empty(), "disabled telemetry recorded counters");
+    assert!(silent.timers.is_empty(), "disabled telemetry recorded timers");
+    assert!(silent.epochs.is_empty(), "disabled telemetry recorded epochs");
+
+    obs::set_mode(Mode::Json);
+    obs::set_clock(ClockMode::Fixed(1_000));
+    obs::reset();
+    let on = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
+    obs::set_clock(ClockMode::Wall);
+    obs::set_mode(Mode::Off);
+    obs::reset();
+
+    assert_eq!(off, on, "telemetry fed back into the training computation");
+}

@@ -57,40 +57,70 @@ fn fig3_sa1_more_severe_than_sa0() {
     assert!(w_sa1 < result.fault_free - 0.05);
 }
 
+/// Median of three samples, without sorting floats in-place elsewhere.
+fn median3(a: f64, b: f64, c: f64) -> f64 {
+    let mut v = [a, b, c];
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    v[1]
+}
+
 #[test]
 fn fig5_shape_fare_restores_accuracy_at_one_to_one() {
     // The paper's headline scenario: 5% faults at SA0:SA1 = 1:1. One
-    // representative workload keeps the test fast.
+    // representative workload, evaluated at three base seeds and
+    // compared on the *median* so the bands can be tighter than any
+    // single seed would allow (see EXPERIMENTS.md, "Tolerance bands").
     let w = Workload {
         dataset: DatasetKind::Amazon2M,
         model: ModelKind::Sage,
     };
-    let cmp = fig5(&quick_params(), &[w], 0.5, &[0.05]);
-    let free = cmp.fault_free_of(w);
-    let unaware = cmp.accuracy_of(w, FaultStrategy::FaultUnaware, 0.05);
-    let fare = cmp.accuracy_of(w, FaultStrategy::FaRe, 0.05);
-    let clip = cmp.accuracy_of(w, FaultStrategy::ClippingOnly, 0.05);
+    let run = |seed: u64| {
+        let params = ExperimentParams {
+            epochs: 20,
+            seed,
+            trials: 2,
+        };
+        let cmp = fig5(&params, &[w], 0.5, &[0.05]);
+        (
+            cmp.fault_free_of(w),
+            cmp.accuracy_of(w, FaultStrategy::FaultUnaware, 0.05),
+            cmp.accuracy_of(w, FaultStrategy::FaRe, 0.05),
+            cmp.accuracy_of(w, FaultStrategy::ClippingOnly, 0.05),
+        )
+    };
+    let (f0, u0, r0, c0) = run(42);
+    let (f1, u1, r1, c1) = run(43);
+    let (f2, u2, r2, c2) = run(44);
+    let free = median3(f0, f1, f2);
+    let unaware = median3(u0, u1, u2);
+    let fare = median3(r0, r1, r2);
+    let clip = median3(c0, c1, c2);
 
-    // Fault-unaware training collapses.
+    // Fault-unaware training collapses: the median loses more than half
+    // the fault-free accuracy (observed median gap ~0.60).
     assert!(
-        unaware < free - 0.15,
+        unaware < free - 0.5,
         "unaware ({unaware:.3}) should collapse vs fault-free ({free:.3})"
     );
-    // FARe restores a large fraction of the lost accuracy.
+    // FARe restores most of the lost accuracy (observed median lift
+    // ~0.50; band 0.40).
     assert!(
-        fare > unaware + 0.15,
+        fare > unaware + 0.40,
         "FARe ({fare:.3}) should restore accuracy over unaware ({unaware:.3})"
     );
-    // FARe ends close to fault-free. The margin is 0.15, not the
+    // FARe ends close to fault-free. The median band is 0.12 — down
+    // from the 0.15 single-seed band of PR 1, though still above the
     // paper's ~0.02: at this scaled-down size a clipped stuck-at-one
-    // cell still pins a weight at the clip threshold, which costs
-    // ~0.1 accuracy at 5% density regardless of mapping quality.
+    // cell pins a weight at the clip threshold, which costs ~0.1
+    // accuracy at 5% density regardless of mapping quality (observed
+    // median gap 0.101).
     assert!(
-        fare > free - 0.15,
+        fare > free - 0.12,
         "FARe ({fare:.3}) should approach fault-free ({free:.3})"
     );
-    // FARe >= clipping-only (the adjacency mapping must not hurt).
-    assert!(fare + 0.03 >= clip, "FARe ({fare:.3}) vs clipping ({clip:.3})");
+    // FARe >= clipping-only (the adjacency mapping must not hurt);
+    // median FARe actually edges out clipping (observed +0.006).
+    assert!(fare + 0.02 >= clip, "FARe ({fare:.3}) vs clipping ({clip:.3})");
 }
 
 #[test]
