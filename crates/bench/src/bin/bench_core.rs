@@ -13,13 +13,17 @@
 //!     [--nodes N] [--avg-degree D] [--iters N] [--smoke] [--out PATH]
 //! ```
 //!
-//! Writes a JSON report (default `BENCH_core.json`) with one entry per
-//! kernel: `{kernel, size, ns_per_iter, threads}`, plus the headline
-//! dense→sparse speedup of a full GCN forward+backward step.
+//! Writes a [`fare_obs::RunManifest`] (default `BENCH_core.json`) with
+//! one `bench` entry per kernel (`<kernel>.ns_per_iter`) plus the
+//! headline dense→sparse speedup of a full GCN forward+backward step —
+//! the same schema every other manifest in the workspace uses, so
+//! `fare-report diff BENCH_core.json <fresh.json>` compares bench runs
+//! across PRs with the one code path.
 
 use std::time::Instant;
 
 use fare_bench::string_flag;
+use fare_obs::RunManifest;
 use fare_gnn::{Gnn, GnnDims, IdealReader};
 use fare_graph::datasets::ModelKind;
 use fare_graph::{CsrGraph, GraphView};
@@ -29,29 +33,6 @@ use fare_reram::FaultSpec;
 use fare_rt::rand::rngs::StdRng;
 use fare_rt::rand::{Rng, SeedableRng};
 use fare_tensor::{init, ops, FixedFormat, Matrix};
-
-struct BenchEntry {
-    kernel: String,
-    size: String,
-    ns_per_iter: f64,
-    threads: u64,
-}
-fare_rt::json_struct!(BenchEntry {
-    kernel,
-    size,
-    ns_per_iter,
-    threads
-});
-
-struct BenchReport {
-    results: Vec<BenchEntry>,
-    /// Dense-seed time / CSR time for one full GCN forward+backward.
-    speedup_gcn_fwd_bwd: f64,
-}
-fare_rt::json_struct!(BenchReport {
-    results,
-    speedup_gcn_fwd_bwd
-});
 
 /// Random undirected graph with ~`n * avg_degree / 2` distinct edges.
 /// Sampling pairs directly (instead of Erdős–Rényi's `n²` coin flips)
@@ -218,57 +199,27 @@ fn main() {
     });
 
     let speedup = pre_ns / post_ns;
-    let report = BenchReport {
-        results: vec![
-            BenchEntry {
-                kernel: "gcn_fwd_bwd_dense_seed".into(),
-                size: size.clone(),
-                ns_per_iter: pre_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "gcn_fwd_bwd_csr".into(),
-                size: size.clone(),
-                ns_per_iter: post_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "gcn_aggregate_dense_seed".into(),
-                size: size.clone(),
-                ns_per_iter: agg_pre_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "gcn_aggregate_csr".into(),
-                size,
-                ns_per_iter: agg_post_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "crossbar_matmul_per_row_mvm".into(),
-                size: xb_size.clone(),
-                ns_per_iter: xb_pre_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "crossbar_matmul_batched".into(),
-                size: xb_size,
-                ns_per_iter: xb_post_ns,
-                threads,
-            },
-        ],
-        speedup_gcn_fwd_bwd: speedup,
-    };
+    let rows: [(&str, &str, f64); 6] = [
+        ("gcn_fwd_bwd_dense_seed", &size, pre_ns),
+        ("gcn_fwd_bwd_csr", &size, post_ns),
+        ("gcn_aggregate_dense_seed", &size, agg_pre_ns),
+        ("gcn_aggregate_csr", &size, agg_post_ns),
+        ("crossbar_matmul_per_row_mvm", &xb_size, xb_pre_ns),
+        ("crossbar_matmul_batched", &xb_size, xb_post_ns),
+    ];
+    let mut manifest = RunManifest::capture("bench_core", 7, &format!("{size};{xb_size}"))
+        .with_bench("threads", threads as f64)
+        .with_bench("speedup_gcn_fwd_bwd", speedup);
+    for (kernel, _, ns) in &rows {
+        manifest = manifest.with_bench(&format!("{kernel}.ns_per_iter"), *ns);
+    }
 
-    for e in &report.results {
-        println!(
-            "{:<28} {:<28} {:>14.0} ns/iter  ({} threads)",
-            e.kernel, e.size, e.ns_per_iter, e.threads
-        );
+    for (kernel, sz, ns) in &rows {
+        println!("{kernel:<28} {sz:<28} {ns:>14.0} ns/iter  ({threads} threads)");
     }
     println!("speedup (gcn fwd+bwd, dense seed → csr): {speedup:.1}x");
 
-    let json = fare_rt::json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    std::fs::write(&out_path, manifest.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

@@ -18,14 +18,18 @@
 //!     [--nodes N] [--xbar-size N] [--density D] [--iters N] [--smoke] [--out PATH]
 //! ```
 //!
-//! Writes a JSON report (default `BENCH_mapping.json`) with old/new
-//! entries side by side plus the headline `map_adjacency` speedup and
-//! the post-deployment refresh speedup (full re-solve → incremental
-//! cached refresh).
+//! Writes a [`fare_obs::RunManifest`] (default `BENCH_mapping.json`)
+//! with one `bench` entry per kernel (`<kernel>.ns_per_iter`) plus the
+//! headline `map_adjacency` speedup and the post-deployment refresh
+//! speedup (full re-solve → incremental cached refresh) — the same
+//! schema every other manifest in the workspace uses, so
+//! `fare-report diff BENCH_mapping.json <fresh.json>` compares bench
+//! runs across PRs with the one code path.
 
 use std::time::Instant;
 
 use fare_bench::string_flag;
+use fare_obs::RunManifest;
 use fare_core::mapping::{self, reference};
 use fare_core::{map_adjacency, refresh_row_permutations_cached, MappingConfig, RemapCache};
 use fare_matching::Matcher;
@@ -33,33 +37,6 @@ use fare_reram::{CrossbarArray, FaultSpec, StuckPolarity};
 use fare_rt::rand::rngs::StdRng;
 use fare_rt::rand::{Rng, SeedableRng};
 use fare_tensor::Matrix;
-
-struct BenchEntry {
-    kernel: String,
-    size: String,
-    ns_per_iter: f64,
-    threads: u64,
-}
-fare_rt::json_struct!(BenchEntry {
-    kernel,
-    size,
-    ns_per_iter,
-    threads
-});
-
-struct BenchReport {
-    results: Vec<BenchEntry>,
-    /// Full-pipeline time / fast-path time for one `map_adjacency`.
-    speedup_map_adjacency: f64,
-    /// Full per-placement re-solve / incremental cached refresh after a
-    /// sparse post-deployment injection.
-    speedup_refresh: f64,
-}
-fare_rt::json_struct!(BenchReport {
-    results,
-    speedup_map_adjacency,
-    speedup_refresh
-});
 
 /// Random symmetric 0/1 adjacency with average degree `avg_degree` —
 /// the sparsity regime GNN batch adjacencies actually live in (matches
@@ -198,47 +175,27 @@ fn main() {
 
     let speedup = pre_ns / post_ns;
     let refresh_speedup = refresh_pre_ns / refresh_post_ns;
-    let report = BenchReport {
-        results: vec![
-            BenchEntry {
-                kernel: "map_adjacency_full_nxn".into(),
-                size: size.clone(),
-                ns_per_iter: pre_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "map_adjacency_fast_path".into(),
-                size: size.clone(),
-                ns_per_iter: post_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "refresh_full_resolve".into(),
-                size: size.clone(),
-                ns_per_iter: refresh_pre_ns,
-                threads,
-            },
-            BenchEntry {
-                kernel: "refresh_incremental_cached".into(),
-                size,
-                ns_per_iter: refresh_post_ns,
-                threads,
-            },
-        ],
-        speedup_map_adjacency: speedup,
-        speedup_refresh: refresh_speedup,
-    };
+    let rows: [(&str, f64); 4] = [
+        ("map_adjacency_full_nxn", pre_ns),
+        ("map_adjacency_fast_path", post_ns),
+        ("refresh_full_resolve", refresh_pre_ns),
+        ("refresh_incremental_cached", refresh_post_ns),
+    ];
+    let mut manifest = RunManifest::capture("bench_mapping", 11, &size)
+        .with_bench("threads", threads as f64)
+        .with_bench("speedup_map_adjacency", speedup)
+        .with_bench("speedup_refresh", refresh_speedup);
+    for (kernel, ns) in &rows {
+        manifest = manifest.with_bench(&format!("{kernel}.ns_per_iter"), *ns);
+    }
 
-    for e in &report.results {
-        println!(
-            "{:<28} {:<52} {:>16.0} ns/iter  ({} threads)",
-            e.kernel, e.size, e.ns_per_iter, e.threads
-        );
+    for (kernel, ns) in &rows {
+        println!("{kernel:<28} {size:<52} {ns:>16.0} ns/iter  ({threads} threads)");
     }
     println!("speedup (map_adjacency, full n x n -> fast path): {speedup:.1}x");
     println!("speedup (refresh, full re-solve -> incremental): {refresh_speedup:.1}x");
 
-    let json = fare_rt::json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    std::fs::write(&out_path, manifest.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

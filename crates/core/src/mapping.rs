@@ -861,6 +861,7 @@ pub fn map_adjacency_cached(
     cfg: &MappingConfig,
     cache: &mut RemapCache,
 ) -> Mapping {
+    let _span = fare_obs::trace::span("core.mapping.map_adjacency");
     fare_obs::timers::CORE_MAPPING_MAP.time(|| map_adjacency_cached_inner(adj, array, cfg, cache))
 }
 
@@ -1113,6 +1114,7 @@ pub fn refresh_row_permutations_cached(
     matcher: Matcher,
     cache: &mut RemapCache,
 ) -> Mapping {
+    let _span = fare_obs::trace::span("core.mapping.refresh");
     fare_obs::timers::CORE_MAPPING_REFRESH
         .time(|| refresh_row_permutations_cached_inner(adj, array, mapping, matcher, cache))
 }

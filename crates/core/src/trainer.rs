@@ -232,6 +232,7 @@ impl Trainer {
 
     fn run_inner(&self, dataset: &Dataset) -> TrainOutcome {
         fare_obs::counters::CORE_TRAINER_RUNS.incr();
+        let _run_span = fare_obs::trace::span("core.trainer.run");
         let cfg = &self.config;
         let mut rng = fare_rt::domain_rng(self.seed, "trainer");
         let n = cfg.crossbar_size;
@@ -330,9 +331,11 @@ impl Trainer {
         };
         let mut history = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
+            let _epoch_span = fare_obs::trace::span_arg("core.trainer.epoch", epoch as u64);
             let mut epoch_loss = 0.0f64;
-            for state in &mut states {
+            for (bi, state) in states.iter_mut().enumerate() {
                 fare_obs::counters::CORE_TRAINER_BATCHES.incr();
+                let _batch_span = fare_obs::trace::span_arg("core.trainer.batch", bi as u64);
                 let (logits, cache) = model.forward(&state.view, &state.features, &reader);
                 let (loss, grad) =
                     masked_cross_entropy(&logits, &state.labels, &state.train_mask);
@@ -432,6 +435,19 @@ impl Trainer {
             FaultStrategy::FaRe => times.fare,
         };
 
+        // 6. Spatial telemetry rollup: one per-crossbar heatmap over the
+        // concatenated adjacency pools of every batch (pure observation —
+        // reads fault maps and placements, touches no training state).
+        if fare_obs::enabled() {
+            fare_obs::heatmap::record(crossbar_heatmap(
+                &states,
+                cfg.epochs,
+                model.num_layers(),
+                num_batches.max(1),
+                stages,
+            ));
+        }
+
         let last = history.last().copied().expect("at least one epoch");
         let best_test_accuracy = history
             .iter()
@@ -477,6 +493,51 @@ impl Trainer {
             test.0 as f64 / test.1.max(1) as f64,
         )
     }
+}
+
+/// Per-crossbar telemetry rollup over the concatenated adjacency pools
+/// of every batch state: measured SA0/SA1 fault cells and final mapping
+/// mismatch cost per crossbar, plus *modeled* MVM traffic (each mapped
+/// block is activated once per aggregation pass; three passes — train
+/// forward, backward, evaluation forward — per layer per epoch) and the
+/// chip-level energy estimate apportioned by that traffic.
+fn crossbar_heatmap(
+    states: &[BatchState],
+    epochs: usize,
+    num_layers: usize,
+    num_batches: usize,
+    stages: usize,
+) -> fare_obs::HeatmapGrid {
+    let cells: usize = states.iter().map(|s| s.array.len()).sum();
+    let mut grid = fare_obs::HeatmapGrid::zeros("adjacency_crossbars", cells);
+    let mut offset = 0usize;
+    for state in states {
+        for i in 0..state.array.len() {
+            let xb = state.array.crossbar(i);
+            grid.sa0[offset + i] = xb.sa0_count() as u64;
+            grid.sa1[offset + i] = xb.sa1_count() as u64;
+        }
+        for p in state.mapping.placements() {
+            grid.mismatch[offset + p.crossbar] += p.mismatch_cost as u64;
+            grid.mvms[offset + p.crossbar] += (epochs * num_layers * 3) as u64;
+        }
+        offset += state.array.len();
+    }
+    if cells > 0 {
+        let spec = PipelineSpec::new(num_batches, stages, 1e-3, epochs);
+        let report = fare_reram::energy::estimate(
+            &fare_reram::ChipConfig::date2024(),
+            cells,
+            &spec,
+        );
+        let total_mvms: u64 = grid.mvms.iter().sum();
+        if total_mvms > 0 {
+            for (e, &m) in grid.energy_nj.iter_mut().zip(&grid.mvms) {
+                *e = report.energy_j * 1e9 * (m as f64 / total_mvms as f64);
+            }
+        }
+    }
+    grid
 }
 
 /// Trains the same configuration on **ideal** hardware (no quantisation,

@@ -102,6 +102,7 @@ impl GatLayer {
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, GatCache) {
+        let _span = fare_obs::trace::span("gnn.attention");
         let n = view.num_nodes();
         let adj = view.dense();
         let weight_read = reader.read(layer_index, 0, &self.weight);
@@ -159,6 +160,7 @@ impl GatLayer {
     /// Backward pass: returns `([grad_W, grad_a_src, grad_a_dst],
     /// grad_input)`.
     pub fn backward(&self, cache: &GatCache, grad_output: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let _span = fare_obs::trace::span("gnn.attention");
         let n = cache.attention.rows();
         let grad_p = if cache.output_layer {
             grad_output.clone()

@@ -70,9 +70,15 @@ impl GcnLayer {
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, GcnCache) {
-        let aggregated = view.gcn_norm().spmm(input);
+        let aggregated = {
+            let _s = fare_obs::trace::span("gnn.aggregate");
+            view.gcn_norm().spmm(input)
+        };
         let weight_read = reader.read(layer_index, 0, &self.weight);
-        let pre_activation = aggregated.matmul(&weight_read);
+        let pre_activation = {
+            let _s = fare_obs::trace::span("gnn.matmul");
+            aggregated.matmul(&weight_read)
+        };
         let out = if output_layer {
             pre_activation.clone()
         } else {
@@ -102,9 +108,15 @@ impl GcnLayer {
         } else {
             grad_output.hadamard(&ops::relu_grad(&cache.pre_activation))
         };
-        let grad_w = cache.aggregated.t_matmul(&grad_z);
+        let grad_w = {
+            let _s = fare_obs::trace::span("gnn.matmul");
+            cache.aggregated.t_matmul(&grad_z)
+        };
         // Â is symmetric, so Âᵀ = Â.
-        let grad_input = view.gcn_norm().spmm(&grad_z.matmul_t(&cache.weight_read));
+        let grad_input = {
+            let _s = fare_obs::trace::span("gnn.aggregate");
+            view.gcn_norm().spmm(&grad_z.matmul_t(&cache.weight_read))
+        };
         (vec![grad_w], grad_input)
     }
 }

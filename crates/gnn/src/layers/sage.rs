@@ -81,11 +81,16 @@ impl SageLayer {
         layer_index: usize,
         output_layer: bool,
     ) -> (Matrix, SageCache) {
-        let aggregated = view.mean_norm().spmm(input);
+        let aggregated = {
+            let _s = fare_obs::trace::span("gnn.aggregate");
+            view.mean_norm().spmm(input)
+        };
         let w_self_read = reader.read(layer_index, 0, &self.w_self);
         let w_neigh_read = reader.read(layer_index, 1, &self.w_neigh);
-        let pre_activation =
-            &input.matmul(&w_self_read) + &aggregated.matmul(&w_neigh_read);
+        let pre_activation = {
+            let _s = fare_obs::trace::span("gnn.matmul");
+            &input.matmul(&w_self_read) + &aggregated.matmul(&w_neigh_read)
+        };
         let out = if output_layer {
             pre_activation.clone()
         } else {
@@ -117,11 +122,16 @@ impl SageLayer {
         } else {
             grad_output.hadamard(&ops::relu_grad(&cache.pre_activation))
         };
-        let grad_w_self = cache.input.t_matmul(&grad_z);
-        let grad_w_neigh = cache.aggregated.t_matmul(&grad_z);
+        let (grad_w_self, grad_w_neigh) = {
+            let _s = fare_obs::trace::span("gnn.matmul");
+            (cache.input.t_matmul(&grad_z), cache.aggregated.t_matmul(&grad_z))
+        };
         // dX = dZ Wsᵀ + Āᵀ (dZ Wnᵀ). Ā is not symmetric.
-        let grad_input = &grad_z.matmul_t(&cache.w_self_read)
-            + &view.mean_norm_t().spmm(&grad_z.matmul_t(&cache.w_neigh_read));
+        let grad_input = {
+            let _s = fare_obs::trace::span("gnn.aggregate");
+            &grad_z.matmul_t(&cache.w_self_read)
+                + &view.mean_norm_t().spmm(&grad_z.matmul_t(&cache.w_neigh_read))
+        };
         (vec![grad_w_self, grad_w_neigh], grad_input)
     }
 }

@@ -278,6 +278,7 @@ impl Gnn {
             self.dims.input
         );
         fare_obs::counters::GNN_FORWARD_CALLS.incr();
+        let _span = fare_obs::trace::span("gnn.forward");
         let mut h = features.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         let last = self.layers.len() - 1;
@@ -312,6 +313,7 @@ impl Gnn {
     pub fn backward(&self, view: &GraphView, cache: &ForwardCache, grad_logits: &Matrix) -> Gradients {
         assert_eq!(cache.caches.len(), self.layers.len(), "stale forward cache");
         fare_obs::counters::GNN_BACKWARD_CALLS.incr();
+        let _span = fare_obs::trace::span("gnn.backward");
         let mut per_layer = vec![Vec::new(); self.layers.len()];
         let mut grad = grad_logits.clone();
         for li in (0..self.layers.len()).rev() {

@@ -12,26 +12,39 @@
 //!   constant duration, so timer records stay bit-identical across
 //!   `FARE_RT_THREADS` settings and golden traces can include them.
 //! - a **per-epoch metrics sink** ([`record_epoch`]) the trainer feeds,
-//! - and a [`RunManifest`] — seed, config, counter totals, epoch curve
-//!   and optional bench numbers — serialised via `fare-rt` JSON.
+//! - **hierarchical span tracing** ([`trace`]) behind `FARE_OBS=trace`:
+//!   nested begin/end events (train run → epoch → batch → {aggregate,
+//!   matmul, mvm, map_adjacency, remap_refresh}) in a bounded ring
+//!   buffer, exportable as a JSONL stream or a Chrome Trace Event
+//!   Format JSON (`chrome://tracing` / Perfetto),
+//! - **spatial heatmaps** ([`heatmap`]): per-crossbar accumulators
+//!   (SA0/SA1 fault cells, mismatch cost, MVM traffic, modeled energy)
+//!   rolled up into [`HeatmapGrid`]s on the manifest,
+//! - and a [`RunManifest`] — seed, config, counter totals, epoch curve,
+//!   heatmaps and optional bench numbers — serialised via `fare-rt`
+//!   JSON.
 //!
 //! ## Overhead contract
 //!
-//! The whole layer sits behind a `FARE_OBS=json|off` switch (default
-//! **off**). Every recording call starts with a single relaxed atomic
-//! load; when disabled nothing else happens, so instrumented hot loops
-//! pay one predictable branch. Telemetry never feeds back into any
-//! computation: enabling or disabling it must not change a single bit
-//! of any training output (pinned by `tests/determinism.rs`).
+//! The whole layer sits behind a `FARE_OBS=trace|json|off` switch
+//! (default **off**). Every recording call starts with a single relaxed
+//! atomic load; when disabled nothing else happens, so instrumented hot
+//! loops pay one predictable branch. `trace` is a strict superset of
+//! `json` (counters/timers/epochs still record). Telemetry never feeds
+//! back into any computation: enabling or disabling it must not change
+//! a single bit of any training output (pinned by
+//! `tests/determinism.rs`).
 //!
 //! ## Determinism contract
 //!
-//! Counter increments are placed on *logical* event paths (one `add`
-//! per injected fault, per MVM call, per cache probe…), never inside
-//! per-chunk worker closures, so totals are identical at any
-//! `FARE_RT_THREADS`. Combined with the fixed clock this makes the
-//! whole [`RunManifest`] bit-identical across thread counts — the
-//! property `tests/golden_trace.rs` snapshots.
+//! Counter increments and span emissions are placed on *logical* event
+//! paths (one `add` per injected fault, per MVM call, per cache
+//! probe…), never inside per-chunk worker closures, so totals are
+//! identical at any `FARE_RT_THREADS`. Combined with the fixed clock
+//! (which also drives trace timestamps, see [`trace`]) this makes the
+//! whole [`RunManifest`] — and the full span trace — bit-identical
+//! across thread counts, the property `tests/golden_trace.rs` and
+//! `tests/trace_golden.rs` snapshot.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -39,24 +52,33 @@ use std::time::Instant;
 
 use fare_rt::json::ToJson;
 
+pub mod heatmap;
+pub mod trace;
+
+pub use heatmap::HeatmapGrid;
+
 // ---------------------------------------------------------------------------
 // Mode switch
 // ---------------------------------------------------------------------------
 
 /// Telemetry mode: `Off` makes every recording call a no-op after one
-/// relaxed atomic load; `Json` records counters/timers/epochs so a
-/// [`RunManifest`] can be captured.
+/// relaxed atomic load; `Json` records counters/timers/epochs/heatmaps
+/// so a [`RunManifest`] can be captured; `Trace` additionally records
+/// nested spans into the [`trace`] ring buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     Off,
     Json,
+    Trace,
 }
 
-/// 0 = unresolved (read `FARE_OBS` on first use), 1 = off, 2 = json.
+/// 0 = unresolved (read `FARE_OBS` on first use), 1 = off, 2 = json,
+/// 3 = trace.
 static MODE: AtomicU8 = AtomicU8::new(0);
 
 fn resolve_mode() -> u8 {
     let resolved = match std::env::var("FARE_OBS") {
+        Ok(v) if v == "trace" => 3,
         Ok(v) if v == "json" => 2,
         _ => 1,
     };
@@ -66,12 +88,22 @@ fn resolve_mode() -> u8 {
     MODE.load(Ordering::Relaxed)
 }
 
-/// Is telemetry recording? One relaxed load on the fast path.
+/// Is telemetry recording (json or trace)? One relaxed load on the
+/// fast path.
 #[inline]
 pub fn enabled() -> bool {
     match MODE.load(Ordering::Relaxed) {
-        0 => resolve_mode() == 2,
-        m => m == 2,
+        0 => resolve_mode() >= 2,
+        m => m >= 2,
+    }
+}
+
+/// Is span tracing recording? One relaxed load on the fast path.
+#[inline]
+pub fn trace_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        0 => resolve_mode() == 3,
+        m => m == 3,
     }
 }
 
@@ -81,13 +113,16 @@ pub fn set_mode(mode: Mode) {
     let m = match mode {
         Mode::Off => 1,
         Mode::Json => 2,
+        Mode::Trace => 3,
     };
     MODE.store(m, Ordering::Relaxed);
 }
 
 /// The currently effective mode.
 pub fn mode() -> Mode {
-    if enabled() {
+    if trace_enabled() {
+        Mode::Trace
+    } else if enabled() {
         Mode::Json
     } else {
         Mode::Off
@@ -411,7 +446,8 @@ pub fn epochs_recorded() -> Vec<EpochRecord> {
 // Reset
 // ---------------------------------------------------------------------------
 
-/// Zero every counter and timer and clear the epoch sink. Call at the
+/// Zero every counter and timer, clear the epoch and heatmap sinks and
+/// the trace buffer (rewinding the trace timeline to t=0). Call at the
 /// start of a run whose manifest should describe that run alone.
 pub fn reset() {
     for c in counters::all() {
@@ -421,6 +457,8 @@ pub fn reset() {
         t.reset();
     }
     EPOCH_SINK.lock().unwrap().clear();
+    heatmap::reset();
+    trace::reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -473,6 +511,7 @@ pub struct RunManifest {
     pub counters: Vec<CounterEntry>,
     pub timers: Vec<TimerEntry>,
     pub epochs: Vec<EpochRecord>,
+    pub heatmaps: Vec<HeatmapGrid>,
     pub bench: Vec<BenchEntry>,
 }
 fare_rt::json_struct!(RunManifest {
@@ -482,6 +521,7 @@ fare_rt::json_struct!(RunManifest {
     counters,
     timers,
     epochs,
+    heatmaps,
     bench
 });
 
@@ -515,6 +555,7 @@ impl RunManifest {
                 })
                 .collect(),
             epochs: epochs_recorded(),
+            heatmaps: heatmap::recorded(),
             bench: Vec::new(),
         }
     }
@@ -564,6 +605,19 @@ impl RunManifest {
                     t.name,
                     t.count,
                     t.total_ns as f64 / 1e6
+                ));
+            }
+        }
+        if !self.heatmaps.is_empty() {
+            out.push_str("  heatmaps:\n");
+            for h in &self.heatmaps {
+                out.push_str(&format!(
+                    "    {:<44} {:>4} cells  sa0 {:>8}  sa1 {:>8}  mismatch {:>10}\n",
+                    h.name,
+                    h.cells(),
+                    h.sa0.iter().sum::<u64>(),
+                    h.sa1.iter().sum::<u64>(),
+                    h.mismatch.iter().sum::<u64>()
                 ));
             }
         }

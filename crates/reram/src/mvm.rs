@@ -82,6 +82,7 @@ pub fn crossbar_mvm(fabric: &WeightFabric, weights: &Matrix, x: &[f32]) -> MvmOu
     // keeps the cycle accounting honest.
     let input_bits = 16usize;
     let cycles = input_bits * CELLS_PER_WORD;
+    let _span = fare_obs::trace::span("reram.mvm");
     fare_obs::counters::RERAM_MVM_CALLS.incr();
     fare_obs::counters::RERAM_MVM_CYCLES.add(cycles as u64);
 
@@ -133,6 +134,7 @@ pub fn crossbar_matmul(fabric: &WeightFabric, weights: &Matrix, input: &Matrix) 
     assert_eq!(input.cols(), rows, "input width must equal weight rows");
     let fmt = fabric.format();
     let stored = fabric.corrupt(weights);
+    let _span = fare_obs::trace::span_arg("reram.matmul", input.rows() as u64);
     fare_obs::counters::RERAM_MATMUL_CALLS.incr();
     fare_obs::counters::RERAM_MATMUL_ROWS.add(input.rows() as u64);
     let mut out = Matrix::zeros(input.rows(), cols);

@@ -72,5 +72,27 @@ echo "==> example smoke (RunManifest summaries)"
 # layer; make sure they keep running end to end.
 cargo run -q --offline --example post_deployment -- --smoke > /dev/null
 cargo run -q --offline --example fault_sweep -- --smoke --ratio 1:1 > /dev/null
+cargo run -q --offline --example pipeline_timing -- --smoke > /dev/null
+
+echo "==> trace & report gate"
+# Fresh golden run under FARE_OBS=trace diffed against the committed
+# snapshot with the fare-report CLI (exit non-zero on any counter /
+# timer / epoch / heatmap movement), then the figure renderer's
+# determinism self-check. This exercises the span tracer, the manifest
+# pipeline and the analyzer end to end.
+REPORT_TMP="$(mktemp -d /tmp/fare_report.XXXXXX)"
+trap 'rm -f "$BENCH_TMP" "$BENCH_MAP_TMP"; rm -rf "$REPORT_TMP"' EXIT
+cargo run -q --offline --bin fare-report -- run-golden \
+    --out "$REPORT_TMP/golden_fresh.json" \
+    --jsonl "$REPORT_TMP/golden_fresh.jsonl" \
+    --chrome "$REPORT_TMP/golden_fresh.trace.json"
+cargo run -q --offline --bin fare-report -- diff \
+    tests/golden/golden_trace.json "$REPORT_TMP/golden_fresh.json"
+cargo run -q --offline --bin fare-report -- figures \
+    "$REPORT_TMP/golden_fresh.json" --check --out "$REPORT_TMP/figs" > /dev/null
+cargo run -q --offline --bin fare-report -- summarize \
+    "$REPORT_TMP/golden_fresh.json" > /dev/null
+cargo run -q --offline --bin fare-report -- heatmap \
+    "$REPORT_TMP/golden_fresh.json" > /dev/null
 
 echo "==> verify OK"

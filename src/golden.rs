@@ -1,0 +1,75 @@
+//! The golden workload: the one seeded training run the regression
+//! nets pin.
+//!
+//! `tests/golden_trace.rs` (manifest snapshot), `tests/trace_golden.rs`
+//! (span-trace digest) and the `fare-report run-golden` CLI subcommand
+//! (the verify.sh diff gate) must all execute the *same* run, so its
+//! definition lives here once: seed 7, PPI preset, GCN, 5 epochs, FARe
+//! strategy, 3% pre-deployment faults (half SA1) plus 1% post-deployment
+//! faults — enough to exercise the packed fault kernels, `RemapCache`
+//! and the incremental refresh path.
+
+use fare_core::{FaultStrategy, TrainConfig, Trainer};
+use fare_graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare_obs::{self as obs, ClockMode, Mode};
+use fare_reram::FaultSpec;
+
+/// The golden seed.
+pub const SEED: u64 = 7;
+
+/// Fixed-clock step (ns) every golden capture installs.
+pub const CLOCK_STEP_NS: u64 = 1_000;
+
+/// The golden training configuration.
+pub fn config() -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Gcn,
+        epochs: 5,
+        fault_spec: FaultSpec::with_sa1_fraction(0.03, 0.5),
+        post_deployment_density: 0.01,
+        strategy: FaultStrategy::FaRe,
+        ..TrainConfig::default()
+    }
+}
+
+/// The golden dataset (PPI preset under the golden seed).
+pub fn dataset() -> Dataset {
+    Dataset::generate(DatasetKind::Ppi, SEED)
+}
+
+/// Runs the golden workload under `mode` with the fixed telemetry
+/// clock and captures its manifest; when `mode` is [`Mode::Trace`] the
+/// span trace is drained too. Leaves telemetry off afterwards.
+pub fn capture(mode: Mode) -> (obs::RunManifest, Option<obs::trace::TraceLog>) {
+    obs::set_mode(mode);
+    obs::set_clock(ClockMode::Fixed(CLOCK_STEP_NS));
+    obs::reset();
+    let dataset = dataset();
+    let outcome = Trainer::new(config(), SEED).run(&dataset);
+    let manifest = obs::RunManifest::capture("golden_trace", SEED, &config())
+        .with_bench("final_test_accuracy", outcome.final_test_accuracy)
+        .with_bench("best_test_accuracy", outcome.best_test_accuracy)
+        .with_bench("final_mapping_cost", outcome.final_mapping_cost as f64)
+        .with_bench("normalized_time", outcome.normalized_time);
+    let trace = if mode == Mode::Trace {
+        Some(obs::trace::take())
+    } else {
+        None
+    };
+    obs::set_clock(ClockMode::Wall);
+    obs::set_mode(Mode::Off);
+    obs::reset();
+    (manifest, trace)
+}
+
+/// [`capture`] under [`Mode::Json`], manifest only — the shape
+/// `tests/golden_trace.rs` snapshots.
+pub fn capture_manifest() -> obs::RunManifest {
+    capture(Mode::Json).0
+}
+
+/// [`capture`] under [`Mode::Trace`]: the manifest plus the span trace.
+pub fn capture_trace() -> (obs::RunManifest, obs::trace::TraceLog) {
+    let (manifest, trace) = capture(Mode::Trace);
+    (manifest, trace.expect("trace mode records a trace"))
+}

@@ -18,8 +18,13 @@
 //! - [`core`] — the FARe mapping algorithm (Algorithm 1), weight
 //!   clipping, the baselines and the experiment runners,
 //! - [`obs`] — the telemetry layer: named monotonic counters, span
-//!   timers, per-epoch metric sinks and [`obs::RunManifest`] run
-//!   manifests (enable with `FARE_OBS=json` or `obs::set_mode`).
+//!   timers, hierarchical span tracing with Chrome-trace export,
+//!   per-epoch metric sinks, per-crossbar heatmaps and
+//!   [`obs::RunManifest`] run manifests (enable with
+//!   `FARE_OBS=trace|json` or `obs::set_mode`),
+//! - [`report`] — the analysis side: manifest summaries, regression
+//!   diffs, heatmap renderers and fig5-style SVG figures, exposed on
+//!   the command line as the `fare-report` binary.
 //!
 //! # Quickstart
 //!
@@ -46,5 +51,8 @@ pub use fare_gnn as gnn;
 pub use fare_obs as obs;
 pub use fare_graph as graph;
 pub use fare_matching as matching;
+pub use fare_report as report;
 pub use fare_reram as reram;
 pub use fare_tensor as tensor;
+
+pub mod golden;

@@ -3,15 +3,18 @@
 //! One small seeded GCN training run — FARe strategy, pre- *and*
 //! post-deployment faults, so the fast paths (packed fault kernels,
 //! `RemapCache`, incremental refresh) are all exercised — captured as a
-//! [`fare::obs::RunManifest`]: the per-epoch loss/accuracy curve plus
-//! every non-zero telemetry counter, serialised to lossless JSON and
-//! compared **byte for byte** against a committed snapshot.
+//! [`fare::obs::RunManifest`]: the per-epoch loss/accuracy curve, every
+//! non-zero telemetry counter and the per-crossbar heatmap rollup,
+//! serialised to lossless JSON and compared **byte for byte** against a
+//! committed snapshot.
 //!
 //! "Did the fast path change behaviour?" is now a single diffable test:
 //! any change to fault injection order, mapping decisions, cache hit
 //! patterns, kernel call counts or the training trajectory shows up as
 //! a snapshot diff.
 //!
+//! The workload definition lives in [`fare::golden`], shared with
+//! `tests/trace_golden.rs` and the `fare-report run-golden` CLI gate.
 //! The manifest uses the fixed telemetry clock (`ClockMode::Fixed`), so
 //! it is bit-identical at any `FARE_RT_THREADS` — `scripts/verify.sh`
 //! re-runs this test under 1 and 4 worker threads.
@@ -27,10 +30,8 @@
 
 use std::sync::Mutex;
 
-use fare::core::{FaultStrategy, TrainConfig, Trainer};
-use fare::graph::datasets::{Dataset, DatasetKind, ModelKind};
+use fare::core::Trainer;
 use fare::obs::{self, ClockMode, Mode};
-use fare::reram::FaultSpec;
 
 /// Committed snapshot (compiled in, so the test is cwd-independent).
 const SNAPSHOT: &str = include_str!("golden/golden_trace.json");
@@ -42,43 +43,11 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-const GOLDEN_SEED: u64 = 7;
-
-fn golden_config() -> TrainConfig {
-    TrainConfig {
-        model: ModelKind::Gcn,
-        epochs: 5,
-        fault_spec: FaultSpec::with_sa1_fraction(0.03, 0.5),
-        post_deployment_density: 0.01,
-        strategy: FaultStrategy::FaRe,
-        ..TrainConfig::default()
-    }
-}
-
-/// Runs the golden workload under deterministic telemetry and captures
-/// its manifest. Leaves telemetry off afterwards.
-fn capture_golden_manifest() -> obs::RunManifest {
-    obs::set_mode(Mode::Json);
-    obs::set_clock(ClockMode::Fixed(1_000));
-    obs::reset();
-    let dataset = Dataset::generate(DatasetKind::Ppi, GOLDEN_SEED);
-    let outcome = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
-    let manifest = obs::RunManifest::capture("golden_trace", GOLDEN_SEED, &golden_config())
-        .with_bench("final_test_accuracy", outcome.final_test_accuracy)
-        .with_bench("best_test_accuracy", outcome.best_test_accuracy)
-        .with_bench("final_mapping_cost", outcome.final_mapping_cost as f64)
-        .with_bench("normalized_time", outcome.normalized_time);
-    obs::set_clock(ClockMode::Wall);
-    obs::set_mode(Mode::Off);
-    obs::reset();
-    manifest
-}
-
 /// The golden run's manifest matches the committed snapshot exactly.
 #[test]
 fn golden_trace_matches_committed_snapshot() {
     let _g = lock();
-    let text = capture_golden_manifest().to_json_pretty() + "\n";
+    let text = fare::golden::capture_manifest().to_json_pretty() + "\n";
     if std::env::var("FARE_GOLDEN_UPDATE").as_deref() == Ok("1") {
         let path = concat!(
             env!("CARGO_MANIFEST_DIR"),
@@ -96,16 +65,17 @@ fn golden_trace_matches_committed_snapshot() {
     );
 }
 
-/// The manifest — counters, timers, epoch curve — is bit-identical on a
-/// serial and a 4-worker pool: counters count logical events, not
-/// per-chunk work, and the fixed clock keeps timers exact.
+/// The manifest — counters, timers, epoch curve, heatmaps — is
+/// bit-identical on a serial and a 4-worker pool: counters count
+/// logical events, not per-chunk work, and the fixed clock keeps
+/// timers exact.
 #[test]
 fn golden_trace_bit_identical_across_thread_counts() {
     let _g = lock();
     fare_rt::par::set_threads(1);
-    let one = capture_golden_manifest().to_json_pretty();
+    let one = fare::golden::capture_manifest().to_json_pretty();
     fare_rt::par::set_threads(4);
-    let four = capture_golden_manifest().to_json_pretty();
+    let four = fare::golden::capture_manifest().to_json_pretty();
     fare_rt::par::set_threads(0);
     assert_eq!(one, four, "telemetry manifest differs across thread counts");
 }
@@ -115,20 +85,22 @@ fn golden_trace_bit_identical_across_thread_counts() {
 #[test]
 fn disabled_telemetry_runs_are_identical_and_silent() {
     let _g = lock();
-    let dataset = Dataset::generate(DatasetKind::Ppi, GOLDEN_SEED);
+    let dataset = fare::golden::dataset();
 
     obs::set_mode(Mode::Off);
     obs::reset();
-    let off = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
-    let silent = obs::RunManifest::capture("off", GOLDEN_SEED, &golden_config());
+    let off = Trainer::new(fare::golden::config(), fare::golden::SEED).run(&dataset);
+    let silent = obs::RunManifest::capture("off", fare::golden::SEED, &fare::golden::config());
     assert!(silent.counters.is_empty(), "disabled telemetry recorded counters");
     assert!(silent.timers.is_empty(), "disabled telemetry recorded timers");
     assert!(silent.epochs.is_empty(), "disabled telemetry recorded epochs");
+    assert!(silent.heatmaps.is_empty(), "disabled telemetry recorded heatmaps");
+    assert_eq!(obs::trace::buffered(), 0, "disabled telemetry recorded spans");
 
     obs::set_mode(Mode::Json);
     obs::set_clock(ClockMode::Fixed(1_000));
     obs::reset();
-    let on = Trainer::new(golden_config(), GOLDEN_SEED).run(&dataset);
+    let on = Trainer::new(fare::golden::config(), fare::golden::SEED).run(&dataset);
     obs::set_clock(ClockMode::Wall);
     obs::set_mode(Mode::Off);
     obs::reset();

@@ -22,7 +22,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
             out.push(manifest);
         }
     }
-    assert!(out.len() >= 8, "expected root + 7 crates, found {}", out.len());
+    assert!(out.len() >= 11, "expected root + 10 crates, found {}", out.len());
     out
 }
 
